@@ -1,0 +1,47 @@
+// Build-cost ablation (not a paper figure): index construction statistics
+// for all four index types over every workload — insert node accesses,
+// split counts, spanning-record activity, coalescing activity, index size
+// on disk, and node counts per level. Complements the paper's search-only
+// evaluation with the write-side cost of each design.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_support/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace segidx;
+  auto args = bench_support::ParseBenchArgs(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.status().message().c_str());
+    return 2;
+  }
+  std::cout << "=== Build-cost ablation (all index types x all workloads) "
+               "===\n";
+  for (workload::DatasetKind kind :
+       {workload::DatasetKind::kI1, workload::DatasetKind::kI2,
+        workload::DatasetKind::kI3, workload::DatasetKind::kI4,
+        workload::DatasetKind::kR1, workload::DatasetKind::kR2}) {
+    bench_support::ExperimentConfig config =
+        bench_support::MakePaperConfig(kind, *args);
+    config.qars = {};  // Build only; no search sweep.
+    auto results = bench_support::RunExperiment(config, &std::cout);
+    if (!results.ok()) {
+      std::fprintf(stderr, "experiment failed: %s\n",
+                   results.status().ToString().c_str());
+      return 1;
+    }
+    std::cout << "\n";
+    bench_support::PrintBuildTable(config, *results, std::cout);
+    char buf[160];
+    for (const bench_support::SeriesResult& series : *results) {
+      std::snprintf(buf, sizeof(buf), "%-18s insert node accesses: %llu\n",
+                    core::IndexKindName(series.kind),
+                    static_cast<unsigned long long>(
+                        series.build.insert_node_accesses));
+      std::cout << buf;
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

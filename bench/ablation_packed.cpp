@@ -1,0 +1,116 @@
+// Static packing vs dynamic Skeleton construction (paper Section 4).
+//
+// The paper motivates Skeleton indexes as the *dynamic* alternative to
+// packed R-Trees [ROUS85], which need all data before construction. This
+// ablation quantifies the trade: packed trees (lowX and STR packing) are
+// built from the complete dataset, the dynamic indexes insert record by
+// record, and all run the same QAR probes.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "bench_support/experiment.h"
+#include "rtree/bulk_load.h"
+
+namespace {
+
+using namespace segidx;
+
+const std::vector<double> kProbeQars = {0.001, 1.0, 1000.0};
+
+int Row(const std::string& label, double v1, double v2, double v3,
+        uint64_t bytes, int height) {
+  char buf[200];
+  std::snprintf(buf, sizeof(buf), "%-34s %10.1f %10.1f %10.1f %10llu %7d\n",
+                label.c_str(), v1, v2, v3,
+                static_cast<unsigned long long>(bytes / 1024), height);
+  std::cout << buf;
+  return 0;
+}
+
+Result<int> RunPacked(const std::vector<Rect>& data,
+                      rtree::PackingMethod method, const std::string& label,
+                      const core::IndexOptions& options) {
+  SEGIDX_ASSIGN_OR_RETURN(std::unique_ptr<core::IntervalIndex> index,
+                          core::IntervalIndex::CreateInMemory(
+                              core::IndexKind::kRTree, options));
+  std::vector<std::pair<Rect, TupleId>> records;
+  records.reserve(data.size());
+  for (size_t i = 0; i < data.size(); ++i) records.emplace_back(data[i], i);
+  SEGIDX_RETURN_IF_ERROR(index->BulkLoad(std::move(records), method));
+
+  std::vector<double> avg;
+  for (double qar : kProbeQars) {
+    const auto queries = workload::GenerateQueries(qar, 1e6, 100, 42);
+    uint64_t total = 0;
+    std::vector<rtree::SearchHit> hits;
+    for (const Rect& q : queries) {
+      hits.clear();
+      uint64_t accesses = 0;
+      SEGIDX_RETURN_IF_ERROR(index->Search(q, &hits, &accesses));
+      total += accesses;
+    }
+    avg.push_back(static_cast<double>(total) /
+                  static_cast<double>(queries.size()));
+  }
+  return Row(label, avg[0], avg[1], avg[2], index->index_bytes(),
+             index->height());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = bench_support::ParseBenchArgs(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.status().message().c_str());
+    return 2;
+  }
+  std::cout << "=== Static packing vs dynamic Skeleton construction ("
+            << args->tuples << " tuples) ===\n";
+  for (workload::DatasetKind kind :
+       {workload::DatasetKind::kI3, workload::DatasetKind::kR2}) {
+    std::cout << "\n--- dataset " << workload::DatasetKindName(kind)
+              << " ---\n";
+    char buf[200];
+    std::snprintf(buf, sizeof(buf), "%-34s %10s %10s %10s %10s %7s\n",
+                  "build method", "QAR 1e-3", "QAR 1", "QAR 1e3",
+                  "size KiB", "height");
+    std::cout << buf;
+
+    bench_support::ExperimentConfig config =
+        bench_support::MakePaperConfig(kind, *args);
+    workload::DatasetSpec spec = config.dataset;
+    const std::vector<Rect> data = workload::GenerateDataset(spec);
+
+    for (auto [method, label] :
+         {std::pair{rtree::PackingMethod::kLowX, "packed R-Tree (lowX)"},
+          std::pair{rtree::PackingMethod::kSTR, "packed R-Tree (STR)"},
+          std::pair{rtree::PackingMethod::kHilbert,
+                    "packed R-Tree (Hilbert)"}}) {
+      auto rc = RunPacked(data, method, label, config.options);
+      if (!rc.ok()) {
+        std::fprintf(stderr, "packed run failed: %s\n",
+                     rc.status().ToString().c_str());
+        return 1;
+      }
+    }
+
+    // Dynamic indexes via the standard runner on the same probes.
+    config.qars = kProbeQars;
+    auto results = bench_support::RunExperiment(config, nullptr);
+    if (!results.ok()) {
+      std::fprintf(stderr, "dynamic run failed: %s\n",
+                   results.status().ToString().c_str());
+      return 1;
+    }
+    for (const bench_support::SeriesResult& series : *results) {
+      Row(std::string("dynamic ") + core::IndexKindName(series.kind),
+          series.avg_nodes[0], series.avg_nodes[1], series.avg_nodes[2],
+          series.build.index_bytes, series.build.height);
+    }
+  }
+  std::cout << "\n(packing requires the full dataset up front; the Skeleton"
+               " indexes achieve their numbers fully dynamically)\n";
+  return 0;
+}

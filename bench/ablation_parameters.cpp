@@ -1,0 +1,166 @@
+// Parameter ablations for the design choices DESIGN.md calls out (not
+// paper figures):
+//
+//   (a) branch-reservation fraction (paper fixes 2/3; Section 4 suggests
+//       1/2, 2/3, 3/4) — Skeleton SR-Tree over exponential-length segments;
+//   (b) node-size doubling per level (Section 2.1.2) on vs off;
+//   (c) distribution-prediction sample size (paper: 5-10%; we sweep
+//       0-20%) — Skeleton SR-Tree over skewed-Y segments;
+//   (d) coalescing on vs off.
+//
+// Each row reports the average nodes accessed per search at a vertical
+// (QAR 1e-3), square (QAR 1), and horizontal (QAR 1e3) aspect ratio.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "bench_support/experiment.h"
+
+namespace {
+
+using namespace segidx;
+using bench_support::BenchArgs;
+using bench_support::ExperimentConfig;
+using bench_support::MakePaperConfig;
+using bench_support::RunExperiment;
+
+const std::vector<double> kProbeQars = {0.001, 1.0, 1000.0};
+
+// Runs one configuration for one index kind; prints a single table row.
+int RunRow(const std::string& label, ExperimentConfig config,
+           core::IndexKind kind) {
+  config.qars = kProbeQars;
+  config.kinds = {kind};
+  auto results = RunExperiment(config, nullptr);
+  if (!results.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", label.c_str(),
+                 results.status().ToString().c_str());
+    return 1;
+  }
+  const bench_support::SeriesResult& series = (*results)[0];
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-44s %10.1f %10.1f %10.1f %10llu %9d\n", label.c_str(),
+                series.avg_nodes[0], series.avg_nodes[1],
+                series.avg_nodes[2],
+                static_cast<unsigned long long>(series.build.index_bytes /
+                                                1024),
+                series.build.height);
+  std::cout << buf;
+  return 0;
+}
+
+void Header(const std::string& title) {
+  std::cout << "\n--- " << title << " ---\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-44s %10s %10s %10s %10s %9s\n",
+                "configuration", "QAR 1e-3", "QAR 1", "QAR 1e3", "size KiB",
+                "height");
+  std::cout << buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = bench_support::ParseBenchArgs(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.status().message().c_str());
+    return 2;
+  }
+  int rc = 0;
+  std::cout << "=== Parameter ablations (" << args->tuples
+            << " tuples) ===\n";
+
+  // (a) Branch-reservation fraction, Skeleton SR-Tree on I3.
+  Header("branch fraction (Skeleton SR-Tree, I3)");
+  for (double fraction : {0.5, 2.0 / 3.0, 0.75, 0.9}) {
+    ExperimentConfig config =
+        MakePaperConfig(workload::DatasetKind::kI3, *args);
+    config.options.tree.branch_fraction = fraction;
+    char label[64];
+    std::snprintf(label, sizeof(label), "branch_fraction=%.2f", fraction);
+    rc |= RunRow(label, config, core::IndexKind::kSkeletonSRTree);
+  }
+
+  // (b) Node-size doubling, SR-Tree and Skeleton SR-Tree on I3.
+  Header("node-size doubling per level (I3)");
+  for (bool doubling : {true, false}) {
+    for (core::IndexKind kind :
+         {core::IndexKind::kSRTree, core::IndexKind::kSkeletonSRTree}) {
+      ExperimentConfig config =
+          MakePaperConfig(workload::DatasetKind::kI3, *args);
+      config.options.tree.double_node_size_per_level = doubling;
+      std::string label = std::string(core::IndexKindName(kind)) +
+                          (doubling ? ", doubling" : ", fixed 1KB nodes");
+      rc |= RunRow(label, config, kind);
+    }
+  }
+
+  // (c) Prediction sample size, Skeleton SR-Tree on I2 (skewed Y).
+  Header("distribution-prediction sample (Skeleton SR-Tree, I2)");
+  for (double percent : {0.0, 2.0, 5.0, 10.0, 20.0}) {
+    ExperimentConfig config =
+        MakePaperConfig(workload::DatasetKind::kI2, *args);
+    config.options.skeleton.prediction_sample =
+        static_cast<uint64_t>(args->tuples * percent / 100.0);
+    char label[64];
+    std::snprintf(label, sizeof(label), "sample=%.0f%% (%llu tuples)",
+                  percent,
+                  static_cast<unsigned long long>(
+                      config.options.skeleton.prediction_sample));
+    rc |= RunRow(label, config, core::IndexKind::kSkeletonSRTree);
+  }
+
+  // (d) Coalescing cadence, Skeleton SR-Tree on I2.
+  Header("coalescing (Skeleton SR-Tree, I2)");
+  for (uint64_t interval : {0ULL, 1000ULL, 5000ULL}) {
+    ExperimentConfig config =
+        MakePaperConfig(workload::DatasetKind::kI2, *args);
+    config.options.skeleton.coalesce_interval = interval;
+    std::string label =
+        interval == 0 ? "coalescing off"
+                      : "coalesce every " + std::to_string(interval);
+    rc |= RunRow(label, config, core::IndexKind::kSkeletonSRTree);
+  }
+
+  // (e) Spanning overflow policy (DESIGN.md): what an SR-Tree does when a
+  // node's spanning quota is full.
+  for (workload::DatasetKind data_kind :
+       {workload::DatasetKind::kI3, workload::DatasetKind::kR2}) {
+    Header(std::string("spanning overflow policy (Skeleton SR-Tree, ") +
+           workload::DatasetKindName(data_kind) + ")");
+    for (auto policy : {rtree::SpanningOverflowPolicy::kDescend,
+                        rtree::SpanningOverflowPolicy::kSplit,
+                        rtree::SpanningOverflowPolicy::kEvictSmallest}) {
+      ExperimentConfig config = MakePaperConfig(data_kind, *args);
+      config.options.tree.spanning_overflow_policy = policy;
+      const char* name =
+          policy == rtree::SpanningOverflowPolicy::kDescend ? "descend"
+          : policy == rtree::SpanningOverflowPolicy::kSplit ? "split"
+                                                            : "evict-smallest";
+      rc |= RunRow(std::string("policy=") + name, config,
+                   core::IndexKind::kSkeletonSRTree);
+    }
+  }
+
+  // (f) Split algorithm, R-Tree and SR-Tree on R2.
+  Header("split algorithm (R2)");
+  for (auto split :
+       {rtree::SplitAlgorithm::kQuadratic, rtree::SplitAlgorithm::kLinear,
+        rtree::SplitAlgorithm::kRStar}) {
+    for (core::IndexKind kind :
+         {core::IndexKind::kRTree, core::IndexKind::kSRTree}) {
+      ExperimentConfig config =
+          MakePaperConfig(workload::DatasetKind::kR2, *args);
+      config.options.tree.split_algorithm = split;
+      const char* split_name =
+          split == rtree::SplitAlgorithm::kQuadratic ? ", quadratic split"
+          : split == rtree::SplitAlgorithm::kLinear  ? ", linear split"
+                                                     : ", R* split";
+      std::string label = std::string(core::IndexKindName(kind)) + split_name;
+      rc |= RunRow(label, config, kind);
+    }
+  }
+  return rc;
+}

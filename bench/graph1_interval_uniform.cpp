@@ -1,0 +1,9 @@
+// Reproduces the paper's Graph 1: see DESIGN.md experiment index.
+
+#include "bench/graph_main.h"
+
+int main(int argc, char** argv) {
+  return segidx::bench_support::RunGraphMain(
+      segidx::workload::DatasetKind::kI1,
+      "Graph 1 - line segments, uniform length, uniform Y (paper Graph 1)", "graph1_interval_uniform", argc, argv);
+}

@@ -1,0 +1,9 @@
+// Reproduces the paper's Graph 2: see DESIGN.md experiment index.
+
+#include "bench/graph_main.h"
+
+int main(int argc, char** argv) {
+  return segidx::bench_support::RunGraphMain(
+      segidx::workload::DatasetKind::kI2,
+      "Graph 2 - line segments, uniform length, exponential Y (paper Graph 2)", "graph2_interval_exp_y", argc, argv);
+}

@@ -1,0 +1,9 @@
+// Reproduces the paper's Graph 3: see DESIGN.md experiment index.
+
+#include "bench/graph_main.h"
+
+int main(int argc, char** argv) {
+  return segidx::bench_support::RunGraphMain(
+      segidx::workload::DatasetKind::kI3,
+      "Graph 3 - line segments, exponential length, uniform Y (paper Graph 3)", "graph3_interval_exp_len", argc, argv);
+}

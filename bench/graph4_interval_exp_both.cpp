@@ -1,0 +1,9 @@
+// Reproduces the paper's Graph 4: see DESIGN.md experiment index.
+
+#include "bench/graph_main.h"
+
+int main(int argc, char** argv) {
+  return segidx::bench_support::RunGraphMain(
+      segidx::workload::DatasetKind::kI4,
+      "Graph 4 - line segments, exponential length, exponential Y (paper Graph 4)", "graph4_interval_exp_both", argc, argv);
+}

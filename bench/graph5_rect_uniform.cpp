@@ -1,0 +1,9 @@
+// Reproduces the paper's Graph 5: see DESIGN.md experiment index.
+
+#include "bench/graph_main.h"
+
+int main(int argc, char** argv) {
+  return segidx::bench_support::RunGraphMain(
+      segidx::workload::DatasetKind::kR1,
+      "Graph 5 - rectangles, uniform size, uniform centroids (paper Graph 5)", "graph5_rect_uniform", argc, argv);
+}

@@ -1,0 +1,9 @@
+// Reproduces the paper's Graph 6: see DESIGN.md experiment index.
+
+#include "bench/graph_main.h"
+
+int main(int argc, char** argv) {
+  return segidx::bench_support::RunGraphMain(
+      segidx::workload::DatasetKind::kR2,
+      "Graph 6 - rectangles, exponential size, uniform centroids (paper Graph 6)", "graph6_rect_exp", argc, argv);
+}

@@ -1,0 +1,47 @@
+// Shared main() body for the per-graph reproduction binaries. Each binary
+// reproduces one of the paper's Graphs 1-6: it builds all four index types
+// over the graph's dataset, sweeps the 13 query aspect ratios, and prints
+// the paper-style series table plus build statistics. A CSV with the same
+// series is written next to the working directory.
+
+#ifndef SEGIDX_BENCH_GRAPH_MAIN_H_
+#define SEGIDX_BENCH_GRAPH_MAIN_H_
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "bench_support/experiment.h"
+
+namespace segidx::bench_support {
+
+inline int RunGraphMain(workload::DatasetKind kind, const char* title,
+                        const char* csv_name, int argc, char** argv) {
+  auto args = ParseBenchArgs(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.status().message().c_str());
+    return 2;
+  }
+  const ExperimentConfig config = MakePaperConfig(kind, *args);
+  std::cout << "=== " << title << " ===\n";
+  auto results = RunExperiment(config, &std::cout);
+  if (!results.ok()) {
+    std::fprintf(stderr, "experiment failed: %s\n",
+                 results.status().ToString().c_str());
+    return 1;
+  }
+  std::cout << "\n";
+  PrintSeriesTable(config, *results, std::cout);
+  PrintBuildTable(config, *results, std::cout);
+  const std::string csv = std::string(csv_name) + ".csv";
+  if (Status st = WriteSeriesCsv(csv, config, *results); !st.ok()) {
+    std::fprintf(stderr, "csv write failed: %s\n", st.ToString().c_str());
+  } else {
+    std::cout << "series written to " << csv << "\n";
+  }
+  return 0;
+}
+
+}  // namespace segidx::bench_support
+
+#endif  // SEGIDX_BENCH_GRAPH_MAIN_H_

@@ -1,0 +1,14 @@
+// Extension experiment for the paper's third motivation (Section 2.2):
+// indexing *time range* and *event* data together in one index. The M1
+// workload mixes 30% events (points in time), 60% short ranges, and 10%
+// very long ranges — the shape of an audit log or measurement stream. The
+// full QAR sweep runs over all four index types, like Graphs 1-6.
+
+#include "bench/graph_main.h"
+
+int main(int argc, char** argv) {
+  return segidx::bench_support::RunGraphMain(
+      segidx::workload::DatasetKind::kM1,
+      "Mixed event / time-range data (Section 2.2 motivation; ours)",
+      "mixed_events", argc, argv);
+}

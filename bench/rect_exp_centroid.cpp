@@ -1,0 +1,35 @@
+// Reproduces the second set of omitted results (Section 5.1, last
+// paragraph): rectangle data with exponential centroid distributions,
+// with uniform (RC1) and exponential (RC2) interval lengths. The paper
+// reports these were qualitatively similar to Graphs 5 and 6 respectively.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_support/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace segidx;
+  auto args = bench_support::ParseBenchArgs(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.status().message().c_str());
+    return 2;
+  }
+  std::cout << "=== Rectangles with exponential centroids (paper Section "
+               "5.1, omitted results) ===\n";
+  for (workload::DatasetKind kind :
+       {workload::DatasetKind::kRC1, workload::DatasetKind::kRC2}) {
+    const bench_support::ExperimentConfig config =
+        bench_support::MakePaperConfig(kind, *args);
+    auto results = bench_support::RunExperiment(config, &std::cout);
+    if (!results.ok()) {
+      std::fprintf(stderr, "experiment failed: %s\n",
+                   results.status().ToString().c_str());
+      return 1;
+    }
+    std::cout << "\n";
+    bench_support::PrintSeriesTable(config, *results, std::cout);
+    bench_support::PrintBuildTable(config, *results, std::cout);
+  }
+  return 0;
+}

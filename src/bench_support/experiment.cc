@@ -1,0 +1,217 @@
+#include "bench_support/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace segidx::bench_support {
+
+using core::IndexKind;
+using core::IndexKindName;
+using core::IntervalIndex;
+
+Result<std::vector<SeriesResult>> RunExperiment(const ExperimentConfig& config,
+                                                std::ostream* progress) {
+  const std::vector<Rect> data = workload::GenerateDataset(config.dataset);
+
+  std::vector<SeriesResult> results;
+  results.reserve(config.kinds.size());
+
+  for (IndexKind kind : config.kinds) {
+    if (progress != nullptr) {
+      *progress << "  building " << IndexKindName(kind) << " over "
+                << data.size() << " x "
+                << workload::DatasetKindName(config.dataset.kind)
+                << " records...\n"
+                << std::flush;
+    }
+    SEGIDX_ASSIGN_OR_RETURN(std::unique_ptr<IntervalIndex> index,
+                            IntervalIndex::CreateInMemory(kind,
+                                                          config.options));
+    for (size_t i = 0; i < data.size(); ++i) {
+      SEGIDX_RETURN_IF_ERROR(index->Insert(data[i], i));
+    }
+    SEGIDX_RETURN_IF_ERROR(index->Finalize());
+
+    if (config.check_invariants) {
+      SEGIDX_RETURN_IF_ERROR(index->CheckInvariants());
+    }
+
+    SeriesResult series;
+    series.kind = kind;
+    series.build.insert_node_accesses =
+        index->tree_stats().insert_node_accesses;
+    series.build.leaf_splits = index->tree_stats().leaf_splits;
+    series.build.nonleaf_splits = index->tree_stats().nonleaf_splits;
+    series.build.spanning_placed = index->tree_stats().spanning_placed;
+    series.build.cuts = index->tree_stats().cuts;
+    series.build.demotions = index->tree_stats().demotions;
+    series.build.promotions = index->tree_stats().promotions;
+    series.build.coalesced_nodes = index->tree_stats().coalesced_nodes;
+    series.build.index_bytes = index->index_bytes();
+    series.build.height = index->height();
+    SEGIDX_ASSIGN_OR_RETURN(series.build.nodes_per_level,
+                            index->NodesPerLevel());
+
+    for (double qar : config.qars) {
+      const std::vector<Rect> queries = workload::GenerateQueries(
+          qar, config.query_area, config.queries_per_qar, config.query_seed);
+      uint64_t total_accesses = 0;
+      std::vector<rtree::SearchHit> hits;
+      for (const Rect& query : queries) {
+        hits.clear();
+        uint64_t accesses = 0;
+        SEGIDX_RETURN_IF_ERROR(index->Search(query, &hits, &accesses));
+        total_accesses += accesses;
+      }
+      series.avg_nodes.push_back(static_cast<double>(total_accesses) /
+                                 static_cast<double>(queries.size()));
+    }
+    results.push_back(std::move(series));
+  }
+  return results;
+}
+
+void PrintSeriesTable(const ExperimentConfig& config,
+                      const std::vector<SeriesResult>& results,
+                      std::ostream& os) {
+  os << "INDEX SEARCH PERFORMANCE — dataset "
+     << workload::DatasetKindName(config.dataset.kind) << ", "
+     << config.dataset.count << " tuples, " << config.queries_per_qar
+     << " searches per QAR, query area " << config.query_area << "\n";
+  os << "rows: log10(query aspect ratio); values: average nodes accessed "
+        "per search\n\n";
+
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%10s", "log10QAR");
+  os << buf;
+  for (const SeriesResult& series : results) {
+    std::snprintf(buf, sizeof(buf), "  %18s", IndexKindName(series.kind));
+    os << buf;
+  }
+  os << "\n";
+  for (size_t qi = 0; qi < config.qars.size(); ++qi) {
+    std::snprintf(buf, sizeof(buf), "%10.1f", std::log10(config.qars[qi]));
+    os << buf;
+    for (const SeriesResult& series : results) {
+      std::snprintf(buf, sizeof(buf), "  %18.1f", series.avg_nodes[qi]);
+      os << buf;
+    }
+    os << "\n";
+  }
+  os << "\n";
+}
+
+void PrintBuildTable(const ExperimentConfig& config,
+                     const std::vector<SeriesResult>& results,
+                     std::ostream& os) {
+  os << "BUILD STATISTICS — dataset "
+     << workload::DatasetKindName(config.dataset.kind) << ", "
+     << config.dataset.count << " tuples\n";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%-18s %8s %10s %12s %9s %9s %9s %9s %9s\n",
+                "index", "height", "nodes", "bytes", "splits", "spanning",
+                "cuts", "demote", "coalesce");
+  os << buf;
+  for (const SeriesResult& series : results) {
+    uint64_t nodes = 0;
+    for (uint64_t n : series.build.nodes_per_level) nodes += n;
+    std::snprintf(
+        buf, sizeof(buf),
+        "%-18s %8d %10llu %12llu %9llu %9llu %9llu %9llu %9llu\n",
+        IndexKindName(series.kind), series.build.height,
+        static_cast<unsigned long long>(nodes),
+        static_cast<unsigned long long>(series.build.index_bytes),
+        static_cast<unsigned long long>(series.build.leaf_splits +
+                                        series.build.nonleaf_splits),
+        static_cast<unsigned long long>(series.build.spanning_placed),
+        static_cast<unsigned long long>(series.build.cuts),
+        static_cast<unsigned long long>(series.build.demotions),
+        static_cast<unsigned long long>(series.build.coalesced_nodes));
+    os << buf;
+  }
+  os << "\n";
+}
+
+Status WriteSeriesCsv(const std::string& path, const ExperimentConfig& config,
+                      const std::vector<SeriesResult>& results) {
+  std::ofstream out(path);
+  if (!out) return IoError("cannot open " + path);
+  out << "qar,log10_qar";
+  for (const SeriesResult& series : results) {
+    std::string name = IndexKindName(series.kind);
+    for (char& c : name) {
+      if (c == ' ' || c == '-') c = '_';
+    }
+    out << ',' << name;
+  }
+  out << '\n';
+  for (size_t qi = 0; qi < config.qars.size(); ++qi) {
+    out << config.qars[qi] << ',' << std::log10(config.qars[qi]);
+    for (const SeriesResult& series : results) {
+      out << ',' << series.avg_nodes[qi];
+    }
+    out << '\n';
+  }
+  return Status::OK();
+}
+
+Result<BenchArgs> ParseBenchArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&arg](const std::string& prefix) {
+      return arg.substr(prefix.size());
+    };
+    if (arg.rfind("--tuples=", 0) == 0) {
+      args.tuples = std::stoull(value_of("--tuples="));
+    } else if (arg.rfind("--queries=", 0) == 0) {
+      args.queries = std::stoi(value_of("--queries="));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      args.seed = std::stoull(value_of("--seed="));
+    } else if (arg == "--check") {
+      args.check_invariants = true;
+    } else if (arg == "--help") {
+      return InvalidArgumentError(
+          "usage: [--tuples=N] [--queries=N] [--seed=N] [--check]");
+    } else {
+      return InvalidArgumentError("unknown flag: " + arg);
+    }
+  }
+  if (args.tuples == 0 || args.queries <= 0) {
+    return InvalidArgumentError("--tuples and --queries must be positive");
+  }
+  return args;
+}
+
+ExperimentConfig MakePaperConfig(workload::DatasetKind kind,
+                                 const BenchArgs& args) {
+  ExperimentConfig config;
+  config.dataset.kind = kind;
+  config.dataset.count = args.tuples;
+  config.dataset.seed = args.seed;
+  config.queries_per_qar = args.queries;
+  config.check_invariants = args.check_invariants;
+
+  // Paper Section 5 parameters.
+  config.options.skeleton.expected_tuples = args.tuples;
+  config.options.skeleton.prediction_sample =
+      std::min<uint64_t>(10000, std::max<uint64_t>(1, args.tuples / 10));
+  config.options.skeleton.x_domain =
+      Interval(workload::kDomainLo, workload::kDomainHi);
+  config.options.skeleton.y_domain =
+      Interval(workload::kDomainLo, workload::kDomainHi);
+  config.options.skeleton.coalesce_interval = 1000;
+  config.options.skeleton.coalesce_candidates = 10;
+  // Leaf nodes are 1 KB and double per level (TreeOptions default).
+  config.options.pager.base_block_size = 1024;
+  // A generous pool keeps in-memory experiment runs fast; the node-access
+  // metric is independent of pool size.
+  config.options.pager.buffer_pool_bytes = 256u << 20;
+  return config;
+}
+
+}  // namespace segidx::bench_support

@@ -1,0 +1,93 @@
+// Experiment harness reproducing the paper's evaluation protocol
+// (Section 5): build each index type over a dataset by inserting every
+// record in (random) generation order, then for each query aspect ratio run
+// a batch of area-10^6 rectangle searches and report the average number of
+// index nodes accessed per search.
+
+#ifndef SEGIDX_BENCH_SUPPORT_EXPERIMENT_H_
+#define SEGIDX_BENCH_SUPPORT_EXPERIMENT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/interval_index.h"
+#include "workload/datasets.h"
+
+namespace segidx::bench_support {
+
+struct ExperimentConfig {
+  workload::DatasetSpec dataset;
+  std::vector<core::IndexKind> kinds = {
+      core::IndexKind::kRTree, core::IndexKind::kSRTree,
+      core::IndexKind::kSkeletonRTree, core::IndexKind::kSkeletonSRTree};
+  std::vector<double> qars = workload::PaperQarSweep();
+  int queries_per_qar = 100;
+  double query_area = 1e6;
+  uint64_t query_seed = 42;
+  core::IndexOptions options;  // Skeleton fields are filled in by the runner.
+  // Validate structural invariants after the build (slows large runs).
+  bool check_invariants = false;
+};
+
+struct BuildSummary {
+  uint64_t insert_node_accesses = 0;
+  uint64_t leaf_splits = 0;
+  uint64_t nonleaf_splits = 0;
+  uint64_t spanning_placed = 0;
+  uint64_t cuts = 0;
+  uint64_t demotions = 0;
+  uint64_t promotions = 0;
+  uint64_t coalesced_nodes = 0;
+  uint64_t index_bytes = 0;
+  int height = 0;
+  std::vector<uint64_t> nodes_per_level;
+};
+
+struct SeriesResult {
+  core::IndexKind kind = core::IndexKind::kRTree;
+  // avg_nodes[i] = average nodes accessed per search at config.qars[i].
+  std::vector<double> avg_nodes;
+  BuildSummary build;
+};
+
+// Runs the full experiment (all index kinds, all QARs). `progress`, when
+// non-null, receives one line per phase.
+Result<std::vector<SeriesResult>> RunExperiment(const ExperimentConfig& config,
+                                                std::ostream* progress);
+
+// Prints the paper-style series table: rows = log10(QAR), one column per
+// index type.
+void PrintSeriesTable(const ExperimentConfig& config,
+                      const std::vector<SeriesResult>& results,
+                      std::ostream& os);
+
+// Prints per-index build statistics (our build-cost ablation).
+void PrintBuildTable(const ExperimentConfig& config,
+                     const std::vector<SeriesResult>& results,
+                     std::ostream& os);
+
+// Writes the series as CSV: qar,log10_qar,<kind columns...>.
+Status WriteSeriesCsv(const std::string& path, const ExperimentConfig& config,
+                      const std::vector<SeriesResult>& results);
+
+// Shared command-line handling for the graph binaries: recognizes
+// --tuples=N, --queries=N, --seed=N, --check (invariants). Unknown flags
+// produce an error message and false.
+struct BenchArgs {
+  uint64_t tuples = 200000;
+  int queries = 100;
+  uint64_t seed = 1;
+  bool check_invariants = false;
+};
+Result<BenchArgs> ParseBenchArgs(int argc, char** argv);
+
+// Fills config.options.skeleton from the dataset (expected tuples, paper
+// prediction-sample / coalescing parameters) and applies BenchArgs.
+ExperimentConfig MakePaperConfig(workload::DatasetKind kind,
+                                 const BenchArgs& args);
+
+}  // namespace segidx::bench_support
+
+#endif  // SEGIDX_BENCH_SUPPORT_EXPERIMENT_H_

@@ -1,0 +1,48 @@
+#include "common/geometry.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace segidx {
+
+std::string Interval::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "[%g, %g]", lo, hi);
+  return buf;
+}
+
+std::string Rect::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "[%g, %g]x[%g, %g]", x.lo, x.hi, y.lo, y.hi);
+  return buf;
+}
+
+CutResult CutRecord(const Rect& record, const Rect& region) {
+  SEGIDX_CHECK(record.Intersects(region));
+  CutResult result;
+  result.spanning_portion = record.Intersect(region);
+
+  // Left slab: the part of the record strictly left of the region, full
+  // record height.
+  if (record.x.lo < region.x.lo) {
+    result.remnants.push_back(
+        Rect(Interval(record.x.lo, region.x.lo), record.y));
+  }
+  // Right slab.
+  if (record.x.hi > region.x.hi) {
+    result.remnants.push_back(
+        Rect(Interval(region.x.hi, record.x.hi), record.y));
+  }
+  // Middle column above / below the region.
+  const Interval mid_x = record.x.Intersect(region.x);
+  if (record.y.lo < region.y.lo) {
+    result.remnants.push_back(Rect(mid_x, Interval(record.y.lo, region.y.lo)));
+  }
+  if (record.y.hi > region.y.hi) {
+    result.remnants.push_back(Rect(mid_x, Interval(region.y.hi, record.y.hi)));
+  }
+  return result;
+}
+
+}  // namespace segidx

@@ -1,0 +1,158 @@
+// Interval and rectangle geometry used throughout the index structures.
+//
+// All intervals are closed: [lo, hi] with lo <= hi. A point is the degenerate
+// interval [v, v]. Rectangles are products of one interval per dimension.
+// The library is two-dimensional (as in the paper's experiments); the
+// one-dimensional case is represented by a degenerate Y interval.
+//
+// Terminology from the paper (Kolovson & Stonebraker, SIGMOD 1991):
+//   * interval I1 "spans" I2  iff  I1.lo <= I2.lo and I1.hi >= I2.hi;
+//   * a rectangle R spans a region B iff R spans B in either or both
+//     dimensions (Section 3.1.1);
+//   * "cutting" splits a data rectangle that pokes outside a node region
+//     into the portion inside (the spanning portion) and up to four remnant
+//     pieces outside (Section 3.1.1, Figure 3).
+
+#ifndef SEGIDX_COMMON_GEOMETRY_H_
+#define SEGIDX_COMMON_GEOMETRY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace segidx {
+
+using Coord = double;
+
+// A closed interval [lo, hi].
+struct Interval {
+  Coord lo = 0;
+  Coord hi = 0;
+
+  Interval() = default;
+  Interval(Coord lo_in, Coord hi_in) : lo(lo_in), hi(hi_in) {}
+
+  static Interval Point(Coord v) { return Interval(v, v); }
+
+  bool valid() const { return lo <= hi; }
+  Coord length() const { return hi - lo; }
+  Coord center() const { return (lo + hi) / 2; }
+  bool is_point() const { return lo == hi; }
+
+  bool Contains(Coord v) const { return lo <= v && v <= hi; }
+  bool Contains(const Interval& other) const {
+    return lo <= other.lo && other.hi <= hi;
+  }
+  // Paper's span relation; identical to containment of the other interval.
+  bool Spans(const Interval& other) const { return Contains(other); }
+  bool Intersects(const Interval& other) const {
+    return lo <= other.hi && other.lo <= hi;
+  }
+
+  // Smallest interval containing both. Valid even if they do not intersect.
+  Interval Enclose(const Interval& other) const {
+    return Interval(lo < other.lo ? lo : other.lo,
+                    hi > other.hi ? hi : other.hi);
+  }
+  // Intersection; only meaningful when Intersects(other).
+  Interval Intersect(const Interval& other) const {
+    return Interval(lo > other.lo ? lo : other.lo,
+                    hi < other.hi ? hi : other.hi);
+  }
+
+  friend bool operator==(const Interval& a, const Interval& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+
+  std::string ToString() const;
+};
+
+// An axis-aligned rectangle (product of closed intervals).
+struct Rect {
+  Interval x;
+  Interval y;
+
+  Rect() = default;
+  Rect(Interval x_in, Interval y_in) : x(x_in), y(y_in) {}
+  Rect(Coord xlo, Coord xhi, Coord ylo, Coord yhi)
+      : x(xlo, xhi), y(ylo, yhi) {}
+
+  static Rect Point(Coord px, Coord py) {
+    return Rect(Interval::Point(px), Interval::Point(py));
+  }
+  // A 1-D segment [lo, hi] embedded at Y = v (degenerate Y interval).
+  static Rect Segment1D(Coord lo, Coord hi, Coord v = 0) {
+    return Rect(Interval(lo, hi), Interval::Point(v));
+  }
+
+  bool valid() const { return x.valid() && y.valid(); }
+  Coord area() const { return x.length() * y.length(); }
+  // Half-perimeter; used as a tie-breaker in node split heuristics.
+  Coord margin() const { return x.length() + y.length(); }
+
+  bool Contains(const Rect& other) const {
+    return x.Contains(other.x) && y.Contains(other.y);
+  }
+  bool ContainsPoint(Coord px, Coord py) const {
+    return x.Contains(px) && y.Contains(py);
+  }
+  bool Intersects(const Rect& other) const {
+    return x.Intersects(other.x) && y.Intersects(other.y);
+  }
+
+  // Paper Section 3.1.1: a record spans a region if it spans it in either
+  // or both dimensions.
+  bool SpansEitherDimension(const Rect& region) const {
+    return x.Spans(region.x) || y.Spans(region.y);
+  }
+  // Spans in every dimension (used by the 1-D special case and invariants).
+  bool SpansBothDimensions(const Rect& region) const {
+    return x.Spans(region.x) && y.Spans(region.y);
+  }
+
+  // The SR-Tree spanning-record qualification (paper Figure 2): the record
+  // overlaps the region and covers it completely in at least one
+  // dimension. Mere x-coverage of a region the record never touches does
+  // not qualify — such a record shares no queries with the region.
+  bool SpansRegion(const Rect& region) const {
+    return Intersects(region) && SpansEitherDimension(region);
+  }
+
+  Rect Enclose(const Rect& other) const {
+    return Rect(x.Enclose(other.x), y.Enclose(other.y));
+  }
+  Rect Intersect(const Rect& other) const {
+    return Rect(x.Intersect(other.x), y.Intersect(other.y));
+  }
+
+  // Area increase needed for this rect to enclose `other` (Guttman's
+  // least-enlargement insertion criterion).
+  Coord Enlargement(const Rect& other) const {
+    return Enclose(other).area() - area();
+  }
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+
+  std::string ToString() const;
+};
+
+// Result of cutting a data rectangle against a node region (Figure 3).
+struct CutResult {
+  // The portion of the record inside the region (record ∩ region).
+  Rect spanning_portion;
+  // Up to four disjoint pieces of the record outside the region, produced by
+  // guillotine cuts: full-height left/right slabs, then top/bottom of the
+  // middle column. Empty when the record is fully enclosed.
+  std::vector<Rect> remnants;
+};
+
+// Cuts `record` against `region`. Requires record.Intersects(region).
+// The spanning portion plus the remnants exactly tile `record` (they are
+// pairwise disjoint up to shared boundaries and their union is `record`).
+CutResult CutRecord(const Rect& record, const Rect& region);
+
+}  // namespace segidx
+
+#endif  // SEGIDX_COMMON_GEOMETRY_H_

@@ -1,0 +1,95 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace segidx {
+
+Histogram::Histogram(Interval domain, int bucket_count)
+    : domain_(domain),
+      bucket_width_(domain.length() / bucket_count),
+      counts_(static_cast<size_t>(bucket_count), 0) {
+  SEGIDX_CHECK_GE(bucket_count, 1);
+  SEGIDX_CHECK(domain.valid());
+  SEGIDX_CHECK_GT(domain.length(), 0);
+}
+
+void Histogram::Add(Coord value) { AddN(value, 1); }
+
+void Histogram::AddN(Coord value, int64_t count) {
+  int i = static_cast<int>((value - domain_.lo) / bucket_width_);
+  i = std::clamp(i, 0, bucket_count() - 1);
+  counts_[i] += count;
+  total_ += count;
+}
+
+Interval Histogram::BucketRange(int i) const {
+  SEGIDX_CHECK(i >= 0 && i < bucket_count());
+  const Coord lo = domain_.lo + bucket_width_ * i;
+  const Coord hi = (i + 1 == bucket_count()) ? domain_.hi : lo + bucket_width_;
+  return Interval(lo, hi);
+}
+
+std::vector<Coord> Histogram::EquiDepthBoundaries(int partitions) const {
+  SEGIDX_CHECK_GE(partitions, 1);
+  std::vector<Coord> bounds;
+  bounds.reserve(partitions + 1);
+  bounds.push_back(domain_.lo);
+
+  if (total_ == 0) {
+    for (int p = 1; p < partitions; ++p) {
+      bounds.push_back(domain_.lo + domain_.length() * p / partitions);
+    }
+    bounds.push_back(domain_.hi);
+    return bounds;
+  }
+
+  // Walk buckets, emitting a boundary each time cumulative mass crosses a
+  // multiple of total/partitions. Mass is interpolated linearly within a
+  // bucket.
+  const double step = static_cast<double>(total_) / partitions;
+  double cumulative = 0;
+  int next_boundary = 1;
+  for (int i = 0; i < bucket_count() && next_boundary < partitions; ++i) {
+    const double bucket_mass = static_cast<double>(counts_[i]);
+    while (next_boundary < partitions &&
+           cumulative + bucket_mass >= step * next_boundary) {
+      const double need = step * next_boundary - cumulative;
+      const double frac = bucket_mass > 0 ? need / bucket_mass : 1.0;
+      const Interval range = BucketRange(i);
+      Coord boundary = range.lo + range.length() * frac;
+      // Enforce strictly increasing boundaries even when many quantiles land
+      // in one bucket.
+      if (boundary <= bounds.back()) {
+        boundary = std::nextafter(bounds.back(), domain_.hi);
+      }
+      boundary = std::min(boundary, domain_.hi);
+      bounds.push_back(boundary);
+      ++next_boundary;
+    }
+    cumulative += bucket_mass;
+  }
+  // If mass ran out early (all records in a prefix), pad remaining
+  // boundaries evenly over what is left of the domain.
+  while (next_boundary < partitions) {
+    const Coord lo = bounds.back();
+    const int remaining = partitions - next_boundary + 1;
+    Coord boundary = lo + (domain_.hi - lo) / remaining;
+    if (boundary <= lo) boundary = std::nextafter(lo, domain_.hi);
+    bounds.push_back(std::min(boundary, domain_.hi));
+    ++next_boundary;
+  }
+  bounds.push_back(domain_.hi);
+
+  // Final monotonicity fix-up for degenerate cases near domain hi.
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    if (bounds[i] <= bounds[i - 1]) {
+      bounds[i] = std::nextafter(bounds[i - 1], domain_.hi + 1);
+    }
+  }
+  return bounds;
+}
+
+}  // namespace segidx

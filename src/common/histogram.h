@@ -1,0 +1,50 @@
+// One-dimensional histograms used for Skeleton index distribution prediction
+// (paper Section 4): a Skeleton index is pre-partitioned from per-dimension
+// histograms of (a sample of) the input, using equi-depth boundaries so that
+// each partition is expected to receive the same number of records.
+
+#ifndef SEGIDX_COMMON_HISTOGRAM_H_
+#define SEGIDX_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace segidx {
+
+// An equi-width histogram over a fixed domain. Values outside the domain are
+// clamped into the boundary buckets.
+class Histogram {
+ public:
+  // Requires bucket_count >= 1 and a valid non-degenerate domain.
+  Histogram(Interval domain, int bucket_count);
+
+  void Add(Coord value);
+  void AddN(Coord value, int64_t count);
+
+  int bucket_count() const { return static_cast<int>(counts_.size()); }
+  int64_t total_count() const { return total_; }
+  const Interval& domain() const { return domain_; }
+  int64_t bucket(int i) const { return counts_[i]; }
+  // The sub-interval of the domain covered by bucket i.
+  Interval BucketRange(int i) const;
+
+  // Returns `partitions + 1` boundary values (first = domain lo, last =
+  // domain hi) splitting the domain into `partitions` cells that each hold
+  // approximately total_count() / partitions of the observed mass
+  // (equi-depth). Within a bucket, mass is assumed uniform. If the histogram
+  // is empty, returns equi-width boundaries. Boundaries are strictly
+  // increasing.
+  std::vector<Coord> EquiDepthBoundaries(int partitions) const;
+
+ private:
+  Interval domain_;
+  Coord bucket_width_;
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+}  // namespace segidx
+
+#endif  // SEGIDX_COMMON_HISTOGRAM_H_

@@ -1,0 +1,46 @@
+// Minimal assertion / logging macros in the spirit of glog's CHECK family.
+//
+// The library is exception-free (Google style); unrecoverable internal
+// invariant violations abort with a message, while recoverable conditions
+// are reported through segidx::Status.
+
+#ifndef SEGIDX_COMMON_LOGGING_H_
+#define SEGIDX_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace segidx::internal_logging {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace segidx::internal_logging
+
+#define SEGIDX_CHECK(expr)                                              \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::segidx::internal_logging::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                                   \
+  } while (false)
+
+#define SEGIDX_CHECK_EQ(a, b) SEGIDX_CHECK((a) == (b))
+#define SEGIDX_CHECK_NE(a, b) SEGIDX_CHECK((a) != (b))
+#define SEGIDX_CHECK_LT(a, b) SEGIDX_CHECK((a) < (b))
+#define SEGIDX_CHECK_LE(a, b) SEGIDX_CHECK((a) <= (b))
+#define SEGIDX_CHECK_GT(a, b) SEGIDX_CHECK((a) > (b))
+#define SEGIDX_CHECK_GE(a, b) SEGIDX_CHECK((a) >= (b))
+
+#ifndef NDEBUG
+#define SEGIDX_DCHECK(expr) SEGIDX_CHECK(expr)
+#else
+#define SEGIDX_DCHECK(expr) \
+  do {                      \
+  } while (false)
+#endif
+
+#endif  // SEGIDX_COMMON_LOGGING_H_

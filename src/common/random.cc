@@ -1,0 +1,75 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace segidx {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t v, int k) { return (v << k) | (v >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  // Seed the full 256-bit state from SplitMix64 as recommended by the
+  // xoshiro authors; avoids the all-zero state.
+  uint64_t sm = seed;
+  for (uint64_t& word : state_) word = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high-quality bits -> [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  SEGIDX_DCHECK(lo <= hi);
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::Exponential(double beta, double max_value) {
+  SEGIDX_DCHECK(beta > 0);
+  for (;;) {
+    double u = NextDouble();
+    // Guard against log(0).
+    if (u >= 1.0) u = 0x1.fffffffffffffp-1;
+    const double v = -beta * std::log1p(-u);
+    if (max_value <= 0 || v <= max_value) return v;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  SEGIDX_DCHECK(lo <= hi);
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(NextU64());  // Full range.
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t v;
+  do {
+    v = NextU64();
+  } while (v >= limit);
+  return lo + static_cast<int64_t>(v % range);
+}
+
+}  // namespace segidx

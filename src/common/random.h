@@ -1,0 +1,44 @@
+// Deterministic pseudo-random number generation and the distributions used
+// by the paper's workloads (uniform, truncated exponential).
+//
+// A fixed in-house generator (xoshiro256**) keeps workloads bit-identical
+// across standard library implementations, which matters for reproducible
+// experiment tables.
+
+#ifndef SEGIDX_COMMON_RANDOM_H_
+#define SEGIDX_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace segidx {
+
+// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform in [0, 2^64).
+  uint64_t NextU64();
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // Uniform in [lo, hi].
+  double Uniform(double lo, double hi);
+
+  // Exponential with mean `beta`, truncated (by resampling) to
+  // [0, max_value] when max_value > 0. The paper draws exponential values
+  // with parameter beta over a bounded domain; resampling preserves the
+  // shape within the domain.
+  double Exponential(double beta, double max_value = 0);
+
+  // Uniform integer in [lo, hi].
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace segidx
+
+#endif  // SEGIDX_COMMON_RANDOM_H_

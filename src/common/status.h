@@ -1,0 +1,141 @@
+// Error handling primitives: Status and Result<T>.
+//
+// The library does not use exceptions. Fallible operations return a Status
+// (or a Result<T> when they also produce a value). Modeled on absl::Status /
+// absl::StatusOr with only the functionality this project needs.
+
+#ifndef SEGIDX_COMMON_STATUS_H_
+#define SEGIDX_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+
+namespace segidx {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kIoError,
+  kCorruption,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+};
+
+// Returns a stable human-readable name, e.g. "IO_ERROR".
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    SEGIDX_DCHECK(code != StatusCode::kOk);
+  }
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "IO_ERROR: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Convenience constructors mirroring absl's.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status OutOfRangeError(std::string message);
+Status IoError(std::string message);
+Status CorruptionError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+
+// Result<T> holds either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  Result(T value) : data_(std::move(value)) {}            // NOLINT
+  Result(Status status) : data_(std::move(status)) {      // NOLINT
+    SEGIDX_CHECK(!std::get<Status>(data_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(data_);
+  }
+
+  T& value() & {
+    SEGIDX_CHECK(ok());
+    return std::get<T>(data_);
+  }
+  const T& value() const& {
+    SEGIDX_CHECK(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    SEGIDX_CHECK(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace segidx
+
+// Propagates a non-OK status out of the enclosing function.
+#define SEGIDX_RETURN_IF_ERROR(expr)          \
+  do {                                        \
+    ::segidx::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                \
+  } while (false)
+
+// Evaluates a Result<T> expression; on success binds the value, otherwise
+// returns the error status.
+#define SEGIDX_ASSIGN_OR_RETURN(lhs, expr)    \
+  SEGIDX_ASSIGN_OR_RETURN_IMPL(               \
+      SEGIDX_STATUS_CONCAT(_result, __LINE__), lhs, expr)
+
+#define SEGIDX_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#define SEGIDX_STATUS_CONCAT(a, b) SEGIDX_STATUS_CONCAT_IMPL(a, b)
+#define SEGIDX_STATUS_CONCAT_IMPL(a, b) a##b
+
+#endif  // SEGIDX_COMMON_STATUS_H_

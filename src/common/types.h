@@ -1,0 +1,19 @@
+// Shared plain typedefs for the index structures.
+
+#ifndef SEGIDX_COMMON_TYPES_H_
+#define SEGIDX_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace segidx {
+
+// Identifier of a data tuple referenced by a leaf (or spanning) index
+// record. The index stores references only; tuple payloads live in the heap
+// file of the host DBMS (out of scope here, as in the paper).
+using TupleId = uint64_t;
+
+constexpr TupleId kInvalidTupleId = ~0ULL;
+
+}  // namespace segidx
+
+#endif  // SEGIDX_COMMON_TYPES_H_

@@ -1,0 +1,216 @@
+#include "core/interval_index.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "storage/block_device.h"
+
+namespace segidx::core {
+
+namespace {
+
+// Facade metadata appended after the tree's metadata in the pager's user
+// area: magic "CO", index kind, skeleton-built flag.
+constexpr size_t kCoreMetaBytes = 4;
+
+Status AppendCoreMeta(storage::Pager* pager, IndexKind kind, bool built) {
+  std::vector<uint8_t> meta = pager->user_meta();
+  meta.push_back('C');
+  meta.push_back('O');
+  meta.push_back(static_cast<uint8_t>(kind));
+  meta.push_back(built ? 1 : 0);
+  return pager->SetUserMeta(meta.data(), meta.size());
+}
+
+}  // namespace
+
+const char* IndexKindName(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kRTree:
+      return "R-Tree";
+    case IndexKind::kSRTree:
+      return "SR-Tree";
+    case IndexKind::kSkeletonRTree:
+      return "Skeleton R-Tree";
+    case IndexKind::kSkeletonSRTree:
+      return "Skeleton SR-Tree";
+  }
+  return "unknown";
+}
+
+Result<std::unique_ptr<IntervalIndex>> IntervalIndex::CreateWithDevice(
+    IndexKind kind, std::unique_ptr<storage::BlockDevice> device,
+    const IndexOptions& options) {
+  if (options.tree.enable_spanning) {
+    return InvalidArgumentError(
+        "IndexOptions::tree.enable_spanning is derived from the index kind; "
+        "leave it false");
+  }
+  SEGIDX_ASSIGN_OR_RETURN(
+      std::unique_ptr<storage::Pager> pager,
+      storage::Pager::Create(std::move(device), options.pager));
+
+  std::unique_ptr<rtree::RTree> tree;
+  if (IsSegment(kind)) {
+    SEGIDX_ASSIGN_OR_RETURN(std::unique_ptr<srtree::SRTree> sr,
+                            srtree::SRTree::Create(pager.get(), options.tree));
+    tree = std::move(sr);
+  } else {
+    SEGIDX_ASSIGN_OR_RETURN(tree,
+                            rtree::RTree::Create(pager.get(), options.tree));
+  }
+
+  std::unique_ptr<skeleton::SkeletonIndex> skel;
+  if (IsSkeleton(kind)) {
+    skel = std::make_unique<skeleton::SkeletonIndex>(tree.get(),
+                                                     options.skeleton);
+  }
+  return std::unique_ptr<IntervalIndex>(new IntervalIndex(
+      kind, std::move(pager), std::move(tree), std::move(skel)));
+}
+
+Result<std::unique_ptr<IntervalIndex>> IntervalIndex::CreateInMemory(
+    IndexKind kind, const IndexOptions& options) {
+  return CreateWithDevice(
+      kind, std::make_unique<storage::MemoryBlockDevice>(), options);
+}
+
+Result<std::unique_ptr<IntervalIndex>> IntervalIndex::CreateOnDisk(
+    IndexKind kind, const std::string& path, const IndexOptions& options) {
+  SEGIDX_ASSIGN_OR_RETURN(
+      std::unique_ptr<storage::FileBlockDevice> device,
+      storage::FileBlockDevice::Open(path, /*create=*/true));
+  SEGIDX_RETURN_IF_ERROR(device->Truncate(0));
+  return CreateWithDevice(kind, std::move(device), options);
+}
+
+Result<std::unique_ptr<IntervalIndex>> IntervalIndex::OpenFromDisk(
+    const std::string& path, const IndexOptions& options) {
+  SEGIDX_ASSIGN_OR_RETURN(
+      std::unique_ptr<storage::FileBlockDevice> device,
+      storage::FileBlockDevice::Open(path, /*create=*/false));
+  SEGIDX_ASSIGN_OR_RETURN(
+      std::unique_ptr<storage::Pager> pager,
+      storage::Pager::Open(std::move(device), options.pager));
+
+  const std::vector<uint8_t>& meta = pager->user_meta();
+  if (meta.size() < kCoreMetaBytes) {
+    return CorruptionError("missing index facade metadata");
+  }
+  const size_t tail = meta.size() - kCoreMetaBytes;
+  if (meta[tail] != 'C' || meta[tail + 1] != 'O') {
+    return CorruptionError("bad index facade metadata magic");
+  }
+  if (meta[tail + 2] > static_cast<uint8_t>(IndexKind::kSkeletonSRTree)) {
+    return CorruptionError("unknown index kind in metadata");
+  }
+  const IndexKind kind = static_cast<IndexKind>(meta[tail + 2]);
+  const bool built = meta[tail + 3] != 0;
+  if (IsSkeleton(kind) && !built) {
+    return CorruptionError(
+        "skeleton index persisted before construction completed");
+  }
+
+  std::unique_ptr<rtree::RTree> tree;
+  if (IsSegment(kind)) {
+    SEGIDX_ASSIGN_OR_RETURN(std::unique_ptr<srtree::SRTree> sr,
+                            srtree::SRTree::Open(pager.get()));
+    tree = std::move(sr);
+  } else {
+    SEGIDX_ASSIGN_OR_RETURN(tree, rtree::RTree::Open(pager.get()));
+  }
+
+  std::unique_ptr<skeleton::SkeletonIndex> skel;
+  if (IsSkeleton(kind)) {
+    skel = skeleton::SkeletonIndex::Resume(tree.get(), options.skeleton);
+  }
+  return std::unique_ptr<IntervalIndex>(new IntervalIndex(
+      kind, std::move(pager), std::move(tree), std::move(skel)));
+}
+
+Status IntervalIndex::Insert(const Rect& rect, TupleId tid) {
+  if (skeleton_ != nullptr) return skeleton_->Insert(rect, tid);
+  return tree_->Insert(rect, tid);
+}
+
+Status IntervalIndex::InsertInterval(const Interval& x, Coord y,
+                                     TupleId tid) {
+  return Insert(Rect(x, Interval::Point(y)), tid);
+}
+
+Status IntervalIndex::Search(const Rect& query,
+                             std::vector<rtree::SearchHit>* out,
+                             uint64_t* nodes_accessed) {
+  if (skeleton_ != nullptr) {
+    return skeleton_->Search(query, out, nodes_accessed);
+  }
+  return tree_->Search(query, out, nodes_accessed);
+}
+
+Status IntervalIndex::SearchTuples(const Rect& query,
+                                   std::vector<TupleId>* out,
+                                   uint64_t* nodes_accessed) {
+  std::vector<rtree::SearchHit> hits;
+  SEGIDX_RETURN_IF_ERROR(Search(query, &hits, nodes_accessed));
+  std::unordered_set<TupleId> seen;
+  seen.reserve(hits.size());
+  for (const rtree::SearchHit& hit : hits) {
+    if (seen.insert(hit.tid).second) out->push_back(hit.tid);
+  }
+  return Status::OK();
+}
+
+Status IntervalIndex::BulkLoad(
+    std::vector<std::pair<Rect, TupleId>> records,
+    rtree::PackingMethod method) {
+  if (skeleton_ != nullptr) {
+    return FailedPreconditionError(
+        "bulk loading replaces skeleton pre-construction; use a "
+        "non-skeleton index kind");
+  }
+  return rtree::BulkLoad(tree_.get(), std::move(records), method);
+}
+
+Status IntervalIndex::Delete(const Rect& rect, TupleId tid) {
+  if (skeleton_ != nullptr && !skeleton_->built()) {
+    return FailedPreconditionError(
+        "cannot delete while the skeleton sample is buffering");
+  }
+  return tree_->Delete(rect, tid);
+}
+
+Status IntervalIndex::Finalize() {
+  if (skeleton_ != nullptr) return skeleton_->Finalize();
+  return Status::OK();
+}
+
+Status IntervalIndex::Flush() {
+  // Buffered sample records live only in memory; build before persisting.
+  SEGIDX_RETURN_IF_ERROR(Finalize());
+  SEGIDX_RETURN_IF_ERROR(tree_->SaveMeta());
+  SEGIDX_RETURN_IF_ERROR(AppendCoreMeta(
+      pager_.get(), kind_, skeleton_ == nullptr || skeleton_->built()));
+  return pager_->Checkpoint();
+}
+
+Status IntervalIndex::CheckInvariants() { return tree_->CheckInvariants(); }
+
+uint64_t IntervalIndex::size() const {
+  if (skeleton_ != nullptr && !skeleton_->built()) {
+    return skeleton_->inserted();
+  }
+  return tree_->size();
+}
+
+uint64_t IntervalIndex::index_bytes() const {
+  return pager_->allocated_blocks() *
+         static_cast<uint64_t>(pager_->base_block_size());
+}
+
+void IntervalIndex::ResetStats() {
+  tree_->ResetStats();
+  pager_->ResetStats();
+}
+
+}  // namespace segidx::core

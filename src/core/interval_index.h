@@ -1,0 +1,162 @@
+// Public facade over the four index types evaluated in the paper:
+//
+//   kRTree          — Guttman R-Tree (baseline)
+//   kSRTree         — Segment R-Tree (Section 3)
+//   kSkeletonRTree  — pre-constructed, adaptive R-Tree (Section 4)
+//   kSkeletonSRTree — pre-constructed, adaptive SR-Tree (Section 4)
+//
+// An IntervalIndex owns the whole stack: storage backend, pager (buffer
+// pool + extent allocator), tree, and — for skeleton kinds — the
+// distribution-prediction / coalescing policy.
+//
+// Quickstart:
+//
+//   segidx::core::IndexOptions options;
+//   auto index = segidx::core::IntervalIndex::CreateInMemory(
+//       segidx::core::IndexKind::kSkeletonSRTree, options).value();
+//   index->Insert(segidx::Rect(10, 500, 42, 42), /*tid=*/1);
+//   std::vector<segidx::TupleId> hits;
+//   index->SearchTuples(segidx::Rect(0, 100, 0, 100), &hits);
+
+#ifndef SEGIDX_CORE_INTERVAL_INDEX_H_
+#define SEGIDX_CORE_INTERVAL_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "rtree/bulk_load.h"
+#include "rtree/rtree.h"
+#include "skeleton/skeleton_index.h"
+#include "srtree/srtree.h"
+#include "storage/pager.h"
+
+namespace segidx::core {
+
+enum class IndexKind {
+  kRTree = 0,
+  kSRTree = 1,
+  kSkeletonRTree = 2,
+  kSkeletonSRTree = 3,
+};
+
+// Stable display name, e.g. "Skeleton SR-Tree".
+const char* IndexKindName(IndexKind kind);
+
+inline bool IsSkeleton(IndexKind kind) {
+  return kind == IndexKind::kSkeletonRTree ||
+         kind == IndexKind::kSkeletonSRTree;
+}
+inline bool IsSegment(IndexKind kind) {
+  return kind == IndexKind::kSRTree || kind == IndexKind::kSkeletonSRTree;
+}
+
+struct IndexOptions {
+  // Tree behavior. `tree.enable_spanning` is derived from the index kind
+  // and must be left false here.
+  rtree::TreeOptions tree;
+  // Skeleton policy; ignored for non-skeleton kinds.
+  skeleton::SkeletonOptions skeleton;
+  // Storage: base block size is the leaf node size (paper: 1 KB).
+  storage::PagerOptions pager;
+};
+
+class IntervalIndex {
+ public:
+  // Creates an index backed by memory (fast experiments, tests).
+  static Result<std::unique_ptr<IntervalIndex>> CreateInMemory(
+      IndexKind kind, const IndexOptions& options);
+
+  // Creates an index in a file at `path`, formatting it from scratch (an
+  // existing file is truncated).
+  static Result<std::unique_ptr<IntervalIndex>> CreateOnDisk(
+      IndexKind kind, const std::string& path, const IndexOptions& options);
+
+  // Re-opens an index persisted with Flush(). `options.pager` must match
+  // the creation-time base block size; tree options are restored from the
+  // file.
+  static Result<std::unique_ptr<IntervalIndex>> OpenFromDisk(
+      const std::string& path, const IndexOptions& options);
+
+  ~IntervalIndex() = default;
+  IntervalIndex(const IntervalIndex&) = delete;
+  IntervalIndex& operator=(const IntervalIndex&) = delete;
+
+  // Inserts a record for a 2-D rectangle (or degenerate interval/point).
+  Status Insert(const Rect& rect, TupleId tid);
+  // Convenience: a 1-D interval at Y position `y` (paper Figure 1 layout:
+  // X = time interval, Y = attribute value).
+  Status InsertInterval(const Interval& x, Coord y, TupleId tid);
+
+  // Every stored entry intersecting `query`; a record cut into several
+  // pieces (SR-Trees) surfaces once per piece.
+  Status Search(const Rect& query, std::vector<rtree::SearchHit>* out,
+                uint64_t* nodes_accessed = nullptr);
+  // Logical result: distinct tuple ids intersecting `query`.
+  Status SearchTuples(const Rect& query, std::vector<TupleId>* out,
+                      uint64_t* nodes_accessed = nullptr);
+
+  // Statically bulk-loads all records into an empty non-skeleton index
+  // (packed R-Tree construction, see rtree/bulk_load.h). Skeleton kinds
+  // refuse: packing is the static alternative the skeleton replaces.
+  Status BulkLoad(std::vector<std::pair<Rect, TupleId>> records,
+                  rtree::PackingMethod method = rtree::PackingMethod::kSTR);
+
+  // Removes one entry (plain R-Tree only; see RTree::Delete).
+  Status Delete(const Rect& rect, TupleId tid);
+
+  // Skeleton kinds: force skeleton construction from the buffered sample.
+  // No-op otherwise.
+  Status Finalize();
+
+  // Persists tree metadata and all dirty pages; the index stays usable.
+  Status Flush();
+
+  // Deep structural validation (tests / debugging).
+  Status CheckInvariants();
+
+  IndexKind kind() const { return kind_; }
+  uint64_t size() const;
+  int height() const { return tree_->height(); }
+  // Total bytes of index extents ever allocated (file high-water mark).
+  uint64_t index_bytes() const;
+
+  const rtree::TreeStats& tree_stats() const { return tree_->stats(); }
+  const storage::StorageStats& storage_stats() const {
+    return pager_->stats();
+  }
+  void ResetStats();
+
+  Result<std::vector<uint64_t>> NodesPerLevel() {
+    return tree_->CountNodesPerLevel();
+  }
+
+  // Escape hatches for tests and benchmarks.
+  rtree::RTree* tree() { return tree_.get(); }
+  storage::Pager* pager() { return pager_.get(); }
+
+ private:
+  IntervalIndex(IndexKind kind, std::unique_ptr<storage::Pager> pager,
+                std::unique_ptr<rtree::RTree> tree,
+                std::unique_ptr<skeleton::SkeletonIndex> skeleton)
+      : kind_(kind),
+        pager_(std::move(pager)),
+        tree_(std::move(tree)),
+        skeleton_(std::move(skeleton)) {}
+
+  static Result<std::unique_ptr<IntervalIndex>> CreateWithDevice(
+      IndexKind kind, std::unique_ptr<storage::BlockDevice> device,
+      const IndexOptions& options);
+
+  IndexKind kind_;
+  std::unique_ptr<storage::Pager> pager_;
+  std::unique_ptr<rtree::RTree> tree_;
+  std::unique_ptr<skeleton::SkeletonIndex> skeleton_;  // Skeleton kinds only.
+};
+
+}  // namespace segidx::core
+
+#endif  // SEGIDX_CORE_INTERVAL_INDEX_H_

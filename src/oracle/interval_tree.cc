@@ -1,0 +1,137 @@
+#include "oracle/interval_tree.h"
+
+#include <algorithm>
+
+namespace segidx::oracle {
+
+bool IntervalTree::Less(const Interval& a, TupleId at, const Interval& b,
+                        TupleId bt) {
+  if (a.lo != b.lo) return a.lo < b.lo;
+  if (a.hi != b.hi) return a.hi < b.hi;
+  return at < bt;
+}
+
+void IntervalTree::Update(TreapNode* node) {
+  node->max_hi = node->interval.hi;
+  if (node->left != nullptr) {
+    node->max_hi = std::max(node->max_hi, node->left->max_hi);
+  }
+  if (node->right != nullptr) {
+    node->max_hi = std::max(node->max_hi, node->right->max_hi);
+  }
+}
+
+void IntervalTree::RotateLeft(std::unique_ptr<TreapNode>* link) {
+  std::unique_ptr<TreapNode> node = std::move(*link);
+  std::unique_ptr<TreapNode> pivot = std::move(node->right);
+  node->right = std::move(pivot->left);
+  Update(node.get());
+  pivot->left = std::move(node);
+  Update(pivot.get());
+  *link = std::move(pivot);
+}
+
+void IntervalTree::RotateRight(std::unique_ptr<TreapNode>* link) {
+  std::unique_ptr<TreapNode> node = std::move(*link);
+  std::unique_ptr<TreapNode> pivot = std::move(node->left);
+  node->left = std::move(pivot->right);
+  Update(node.get());
+  pivot->right = std::move(node);
+  Update(pivot.get());
+  *link = std::move(pivot);
+}
+
+void IntervalTree::Insert(const Interval& interval, TupleId tid) {
+  auto node = std::make_unique<TreapNode>();
+  node->interval = interval;
+  node->tid = tid;
+  node->priority = rng_.NextU64();
+  node->max_hi = interval.hi;
+  InsertAt(&root_, std::move(node));
+  ++size_;
+}
+
+void IntervalTree::InsertAt(std::unique_ptr<TreapNode>* link,
+                            std::unique_ptr<TreapNode> node) {
+  if (*link == nullptr) {
+    *link = std::move(node);
+    return;
+  }
+  TreapNode* cur = link->get();
+  if (Less(node->interval, node->tid, cur->interval, cur->tid)) {
+    InsertAt(&cur->left, std::move(node));
+    Update(cur);
+    if (cur->left->priority > cur->priority) RotateRight(link);
+  } else {
+    InsertAt(&cur->right, std::move(node));
+    Update(cur);
+    if (cur->right->priority > cur->priority) RotateLeft(link);
+  }
+}
+
+bool IntervalTree::Delete(const Interval& interval, TupleId tid) {
+  if (DeleteAt(&root_, interval, tid)) {
+    --size_;
+    return true;
+  }
+  return false;
+}
+
+bool IntervalTree::DeleteAt(std::unique_ptr<TreapNode>* link,
+                            const Interval& interval, TupleId tid) {
+  if (*link == nullptr) return false;
+  TreapNode* cur = link->get();
+  bool removed;
+  if (Less(interval, tid, cur->interval, cur->tid)) {
+    removed = DeleteAt(&cur->left, interval, tid);
+  } else if (Less(cur->interval, cur->tid, interval, tid)) {
+    removed = DeleteAt(&cur->right, interval, tid);
+  } else {
+    // Found: rotate down to a leaf position, then unlink.
+    if (cur->left == nullptr) {
+      *link = std::move(cur->right);
+      return true;
+    }
+    if (cur->right == nullptr) {
+      *link = std::move(cur->left);
+      return true;
+    }
+    if (cur->left->priority > cur->right->priority) {
+      RotateRight(link);
+      removed = DeleteAt(&link->get()->right, interval, tid);
+    } else {
+      RotateLeft(link);
+      removed = DeleteAt(&link->get()->left, interval, tid);
+    }
+  }
+  if (*link != nullptr) Update(link->get());
+  return removed;
+}
+
+void IntervalTree::Collect(const TreapNode* node, const Interval& query,
+                           std::vector<TupleId>* out) {
+  if (node == nullptr) return;
+  // Subtree pruning: no interval below has an upper endpoint reaching the
+  // query's lower endpoint.
+  if (node->max_hi < query.lo) return;
+  Collect(node->left.get(), query, out);
+  if (node->interval.Intersects(query)) out->push_back(node->tid);
+  // Keys to the right start at or after this node's lo; if even this
+  // subtree's smallest lo exceeds query.hi nothing to the right matches.
+  if (node->interval.lo <= query.hi) {
+    Collect(node->right.get(), query, out);
+  }
+}
+
+std::vector<TupleId> IntervalTree::Stab(Coord point) const {
+  return Overlapping(Interval::Point(point));
+}
+
+std::vector<TupleId> IntervalTree::Overlapping(const Interval& query) const {
+  std::vector<TupleId> out;
+  Collect(root_.get(), query, &out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace segidx::oracle

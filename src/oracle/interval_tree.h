@@ -1,0 +1,69 @@
+// Dynamic interval tree (CLRS-style augmented search tree) over 1-D closed
+// intervals — one of the main-memory Computational Geometry structures the
+// paper contrasts with disk-based Segment Indexes (Section 1). Implemented
+// as a randomized treap keyed by (lo, hi, tid) with a max-upper-endpoint
+// augmentation; expected O(log n) insert/delete and output-sensitive
+// overlap queries.
+//
+// Used in tests as a second ground-truth implementation for 1-D workloads
+// and in examples as the in-memory baseline.
+
+#ifndef SEGIDX_ORACLE_INTERVAL_TREE_H_
+#define SEGIDX_ORACLE_INTERVAL_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/random.h"
+#include "common/types.h"
+
+namespace segidx::oracle {
+
+class IntervalTree {
+ public:
+  IntervalTree() : rng_(0x5e601dc5u) {}
+
+  void Insert(const Interval& interval, TupleId tid);
+  // Removes one entry equal to (interval, tid); returns whether it existed.
+  bool Delete(const Interval& interval, TupleId tid);
+
+  // Tuple ids of intervals containing `point`, sorted ascending.
+  std::vector<TupleId> Stab(Coord point) const;
+  // Tuple ids of intervals intersecting `query`, sorted ascending.
+  std::vector<TupleId> Overlapping(const Interval& query) const;
+
+  size_t size() const { return size_; }
+
+ private:
+  struct TreapNode {
+    Interval interval;
+    TupleId tid;
+    uint64_t priority;
+    Coord max_hi;
+    std::unique_ptr<TreapNode> left;
+    std::unique_ptr<TreapNode> right;
+  };
+
+  // Strict ordering on (lo, hi, tid).
+  static bool Less(const Interval& a, TupleId at, const Interval& b,
+                   TupleId bt);
+  static void Update(TreapNode* node);
+  static void RotateLeft(std::unique_ptr<TreapNode>* link);
+  static void RotateRight(std::unique_ptr<TreapNode>* link);
+  void InsertAt(std::unique_ptr<TreapNode>* link,
+                std::unique_ptr<TreapNode> node);
+  bool DeleteAt(std::unique_ptr<TreapNode>* link, const Interval& interval,
+                TupleId tid);
+  static void Collect(const TreapNode* node, const Interval& query,
+                      std::vector<TupleId>* out);
+
+  std::unique_ptr<TreapNode> root_;
+  size_t size_ = 0;
+  Rng rng_;
+};
+
+}  // namespace segidx::oracle
+
+#endif  // SEGIDX_ORACLE_INTERVAL_TREE_H_

@@ -1,0 +1,28 @@
+#include "oracle/naive_oracle.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace segidx::oracle {
+
+bool NaiveOracle::Delete(const Rect& rect, TupleId tid) {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].second == tid && entries_[i].first == rect) {
+      entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<TupleId> NaiveOracle::Search(const Rect& query) const {
+  std::vector<TupleId> out;
+  for (const auto& [rect, tid] : entries_) {
+    if (rect.Intersects(query)) out.push_back(tid);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace segidx::oracle

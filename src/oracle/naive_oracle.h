@@ -1,0 +1,39 @@
+// Brute-force reference "index": a flat list scanned on every query.
+// Used as ground truth by the test suite and as the unindexed baseline in
+// examples. Semantics match the R-Tree exactly (closed-interval
+// intersection).
+
+#ifndef SEGIDX_ORACLE_NAIVE_ORACLE_H_
+#define SEGIDX_ORACLE_NAIVE_ORACLE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/types.h"
+
+namespace segidx::oracle {
+
+class NaiveOracle {
+ public:
+  void Insert(const Rect& rect, TupleId tid) {
+    entries_.emplace_back(rect, tid);
+  }
+
+  // Removes one entry equal to (rect, tid); returns whether one existed.
+  bool Delete(const Rect& rect, TupleId tid);
+
+  // Tuple ids of all entries intersecting `query`, sorted ascending and
+  // deduplicated.
+  std::vector<TupleId> Search(const Rect& query) const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<std::pair<Rect, TupleId>> entries_;
+};
+
+}  // namespace segidx::oracle
+
+#endif  // SEGIDX_ORACLE_NAIVE_ORACLE_H_

@@ -1,0 +1,98 @@
+#include "oracle/priority_search_tree.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/logging.h"
+
+namespace segidx::oracle {
+
+PrioritySearchTree::PrioritySearchTree(
+    std::vector<std::pair<Interval, TupleId>> intervals)
+    : entries_(std::move(intervals)) {
+  for (const auto& [interval, tid] : entries_) {
+    SEGIDX_CHECK(interval.valid());
+  }
+  std::vector<int> by_lo(entries_.size());
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    by_lo[i] = static_cast<int>(i);
+  }
+  std::sort(by_lo.begin(), by_lo.end(), [this](int a, int b) {
+    if (entries_[a].first.lo != entries_[b].first.lo) {
+      return entries_[a].first.lo < entries_[b].first.lo;
+    }
+    return entries_[a].second < entries_[b].second;
+  });
+  nodes_.reserve(entries_.size());
+  root_ = Build(&by_lo, 0, by_lo.size());
+}
+
+int PrioritySearchTree::Build(std::vector<int>* by_lo, size_t begin,
+                              size_t end) {
+  if (begin >= end) return -1;
+  // Pull out the entry with the largest hi; it becomes this node's
+  // priority element. A stable rotate keeps the rest in lo-order.
+  size_t best = begin;
+  for (size_t i = begin + 1; i < end; ++i) {
+    if (entries_[static_cast<size_t>((*by_lo)[i])].first.hi >
+        entries_[static_cast<size_t>((*by_lo)[best])].first.hi) {
+      best = i;
+    }
+  }
+  const int entry = (*by_lo)[best];
+  std::rotate(by_lo->begin() + static_cast<ptrdiff_t>(best),
+              by_lo->begin() + static_cast<ptrdiff_t>(best) + 1,
+              by_lo->begin() + static_cast<ptrdiff_t>(end));
+  const size_t rest_end = end - 1;
+
+  const int index = static_cast<int>(nodes_.size());
+  nodes_.push_back(PstNode{});
+  nodes_[static_cast<size_t>(index)].entry = entry;
+
+  if (begin < rest_end) {
+    const size_t mid = begin + (rest_end - begin) / 2;
+    // Children of the median go right (split = first lo of the right
+    // part); degenerate when all entries share one lo, which still
+    // terminates because each node consumes one entry.
+    const Coord split =
+        entries_[static_cast<size_t>((*by_lo)[mid])].first.lo;
+    const int left = Build(by_lo, begin, mid);
+    const int right = Build(by_lo, mid, rest_end);
+    nodes_[static_cast<size_t>(index)].split = split;
+    nodes_[static_cast<size_t>(index)].left = left;
+    nodes_[static_cast<size_t>(index)].right = right;
+  } else {
+    nodes_[static_cast<size_t>(index)].split =
+        entries_[static_cast<size_t>(entry)].first.lo;
+  }
+  return index;
+}
+
+void PrioritySearchTree::Collect(int node_index, Coord x_max, Coord y_min,
+                                 std::vector<TupleId>* out) const {
+  if (node_index < 0) return;
+  const PstNode& node = nodes_[static_cast<size_t>(node_index)];
+  const auto& [interval, tid] = entries_[static_cast<size_t>(node.entry)];
+  // The priority element has the largest hi in this subtree: if it fails
+  // the y condition, everything below does too.
+  if (interval.hi < y_min) return;
+  if (interval.lo <= x_max) out->push_back(tid);
+  Collect(node.left, x_max, y_min, out);
+  if (node.split <= x_max) {
+    Collect(node.right, x_max, y_min, out);
+  }
+}
+
+std::vector<TupleId> PrioritySearchTree::Query(Coord x_max,
+                                               Coord y_min) const {
+  std::vector<TupleId> out;
+  Collect(root_, x_max, y_min, &out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<TupleId> PrioritySearchTree::Stab(Coord point) const {
+  return Query(point, point);
+}
+
+}  // namespace segidx::oracle

@@ -1,0 +1,63 @@
+// Static priority search tree (McCreight 1985) — the third main-memory
+// Computational Geometry structure the paper cites (Section 1).
+//
+// A PST over points answers "x in (-inf, qx], y >= qy" queries in
+// O(log n + k). Mapping a closed interval [lo, hi] to the point
+// (x=lo, y=hi) turns interval stabbing at q — lo <= q <= hi — into exactly
+// that query: lo <= q and hi >= q. Used by tests as a third independent
+// 1-D ground truth and available as an in-memory baseline.
+//
+// The structure is built once from the full interval set (the classic
+// formulation); use IntervalTree for a dynamic in-memory structure.
+
+#ifndef SEGIDX_ORACLE_PRIORITY_SEARCH_TREE_H_
+#define SEGIDX_ORACLE_PRIORITY_SEARCH_TREE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/types.h"
+
+namespace segidx::oracle {
+
+class PrioritySearchTree {
+ public:
+  // Builds over the given intervals; invalid intervals are rejected by
+  // SEGIDX_CHECK.
+  explicit PrioritySearchTree(
+      std::vector<std::pair<Interval, TupleId>> intervals);
+
+  // Tuple ids of intervals containing `point`, sorted ascending.
+  std::vector<TupleId> Stab(Coord point) const;
+
+  // Tuple ids of intervals with lo <= x_max and hi >= y_min (the raw PST
+  // query), sorted ascending.
+  std::vector<TupleId> Query(Coord x_max, Coord y_min) const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct PstNode {
+    // The "priority" element stored at this node: the entry with the
+    // largest hi among those in this subtree's x-range.
+    int entry = -1;
+    // Median lo splitting the remaining entries.
+    Coord split = 0;
+    int left = -1;
+    int right = -1;
+  };
+
+  int Build(std::vector<int>* by_lo, size_t begin, size_t end);
+  void Collect(int node_index, Coord x_max, Coord y_min,
+               std::vector<TupleId>* out) const;
+
+  std::vector<std::pair<Interval, TupleId>> entries_;
+  std::vector<PstNode> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace segidx::oracle
+
+#endif  // SEGIDX_ORACLE_PRIORITY_SEARCH_TREE_H_

@@ -1,0 +1,94 @@
+#include "oracle/segment_tree.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace segidx::oracle {
+
+SegmentTree::SegmentTree(std::vector<Coord> endpoints)
+    : endpoints_(std::move(endpoints)) {
+  SEGIDX_CHECK(!endpoints_.empty());
+  std::sort(endpoints_.begin(), endpoints_.end());
+  endpoints_.erase(std::unique(endpoints_.begin(), endpoints_.end()),
+                   endpoints_.end());
+  const int slots = static_cast<int>(endpoints_.size()) * 2 - 1;
+  nodes_.reserve(static_cast<size_t>(slots) * 2);
+  root_ = BuildRange(0, slots - 1);
+}
+
+int SegmentTree::BuildRange(int slot_lo, int slot_hi) {
+  const int index = static_cast<int>(nodes_.size());
+  nodes_.push_back(TreeNode{slot_lo, slot_hi, -1, -1, {}});
+  if (slot_lo < slot_hi) {
+    const int mid = slot_lo + (slot_hi - slot_lo) / 2;
+    const int left = BuildRange(slot_lo, mid);
+    const int right = BuildRange(mid + 1, slot_hi);
+    nodes_[index].left = left;
+    nodes_[index].right = right;
+  }
+  return index;
+}
+
+int SegmentTree::EndpointIndex(Coord value) const {
+  const auto it =
+      std::lower_bound(endpoints_.begin(), endpoints_.end(), value);
+  if (it == endpoints_.end() || *it != value) return -1;
+  return static_cast<int>(it - endpoints_.begin());
+}
+
+int SegmentTree::SlotOf(Coord value) const {
+  if (value < endpoints_.front() || value > endpoints_.back()) return -1;
+  const auto it =
+      std::lower_bound(endpoints_.begin(), endpoints_.end(), value);
+  const int i = static_cast<int>(it - endpoints_.begin());
+  if (*it == value) return 2 * i;
+  return 2 * i - 1;  // Open gap below endpoint i.
+}
+
+Status SegmentTree::Insert(const Interval& interval, TupleId tid) {
+  if (!interval.valid()) return InvalidArgumentError("invalid interval");
+  const int lo = EndpointIndex(interval.lo);
+  const int hi = EndpointIndex(interval.hi);
+  if (lo < 0 || hi < 0) {
+    return InvalidArgumentError(
+        "interval endpoint not in the segment tree's endpoint set");
+  }
+  InsertRange(root_, 2 * lo, 2 * hi, tid);
+  ++size_;
+  return Status::OK();
+}
+
+void SegmentTree::InsertRange(int node_index, int slot_lo, int slot_hi,
+                              TupleId tid) {
+  TreeNode& node = nodes_[node_index];
+  if (slot_lo <= node.slot_lo && node.slot_hi <= slot_hi) {
+    node.tids.push_back(tid);  // Canonical node: fully spanned.
+    return;
+  }
+  const int mid = node.slot_lo + (node.slot_hi - node.slot_lo) / 2;
+  if (slot_lo <= mid) {
+    InsertRange(node.left, slot_lo, std::min(slot_hi, mid), tid);
+  }
+  if (slot_hi > mid) {
+    InsertRange(node.right, std::max(slot_lo, mid + 1), slot_hi, tid);
+  }
+}
+
+std::vector<TupleId> SegmentTree::Stab(Coord point) const {
+  std::vector<TupleId> out;
+  const int slot = SlotOf(point);
+  if (slot < 0) return out;
+  int node_index = root_;
+  while (node_index >= 0) {
+    const TreeNode& node = nodes_[node_index];
+    out.insert(out.end(), node.tids.begin(), node.tids.end());
+    if (node.slot_lo == node.slot_hi) break;
+    const int mid = node.slot_lo + (node.slot_hi - node.slot_lo) / 2;
+    node_index = slot <= mid ? node.left : node.right;
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace segidx::oracle

@@ -1,0 +1,67 @@
+// Classic (static) segment tree over a fixed set of endpoint coordinates
+// (Bentley 1977) — the structure whose "spanning" idea the paper transplants
+// into paged indexes (Section 2). An interval is stored on the O(log n)
+// highest nodes whose ranges it fully spans; a stabbing query walks one
+// root-to-leaf path and reports every interval stored along it.
+//
+// Closed-interval semantics are implemented with the standard slot encoding
+// (2m+1 slots for m+1 endpoints: each endpoint and each open gap is one
+// elementary slot), so results match the R-Tree's closed intersections
+// exactly.
+
+#ifndef SEGIDX_ORACLE_SEGMENT_TREE_H_
+#define SEGIDX_ORACLE_SEGMENT_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace segidx::oracle {
+
+class SegmentTree {
+ public:
+  // Builds the skeleton over the given endpoint coordinates (sorted and
+  // deduplicated internally; at least one endpoint required). Inserted
+  // interval endpoints must be members of this set.
+  explicit SegmentTree(std::vector<Coord> endpoints);
+
+  // Stores `interval` on its canonical nodes. Fails with InvalidArgument
+  // if an endpoint is not in the endpoint set.
+  Status Insert(const Interval& interval, TupleId tid);
+
+  // Tuple ids of intervals containing `point`, sorted ascending. A point
+  // outside [min endpoint, max endpoint] matches nothing.
+  std::vector<TupleId> Stab(Coord point) const;
+
+  size_t size() const { return size_; }
+  size_t endpoint_count() const { return endpoints_.size(); }
+
+ private:
+  struct TreeNode {
+    int slot_lo = 0;
+    int slot_hi = 0;
+    int left = -1;   // Index into nodes_, -1 for none.
+    int right = -1;
+    std::vector<TupleId> tids;  // Intervals spanning this node's range.
+  };
+
+  int BuildRange(int slot_lo, int slot_hi);
+  // Slot index of a coordinate: 2i for endpoint i, 2i+1 for the open gap
+  // (e_i, e_{i+1}); -1 outside the domain.
+  int SlotOf(Coord value) const;
+  // Exact endpoint index or -1.
+  int EndpointIndex(Coord value) const;
+  void InsertRange(int node, int slot_lo, int slot_hi, TupleId tid);
+
+  std::vector<Coord> endpoints_;
+  std::vector<TreeNode> nodes_;
+  int root_ = -1;
+  size_t size_ = 0;
+};
+
+}  // namespace segidx::oracle
+
+#endif  // SEGIDX_ORACLE_SEGMENT_TREE_H_

@@ -1,0 +1,53 @@
+// Static (packed) R-Tree construction.
+//
+// The paper's Section 4 motivates Skeleton indexes as the *dynamic*
+// alternative to packing "such as that suggested by [ROUS85]", which
+// requires all data up front. This module provides that static baseline so
+// the trade-off can be measured (bench/ablation_packed):
+//
+//   * kLowX — Roussopoulos & Leifker's packed R-Tree: records sorted by
+//     the lower X boundary and packed into full nodes in order;
+//   * kSTR  — sort-tile-recursive packing: records sorted by X center,
+//     cut into vertical slabs, each slab sorted by Y center and packed.
+//     (A later technique included as the stronger static baseline.)
+//
+// Packing fills every node to ~100%, so a packed tree is the smallest and
+// shallowest possible — at the price of being read-only-optimal: dynamic
+// inserts afterwards degrade it (which is the paper's argument).
+
+#ifndef SEGIDX_RTREE_BULK_LOAD_H_
+#define SEGIDX_RTREE_BULK_LOAD_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "rtree/rtree.h"
+
+namespace segidx::rtree {
+
+enum class PackingMethod {
+  // Roussopoulos & Leifker's packed R-Tree (the paper's [ROUS85]).
+  kLowX = 0,
+  // Sort-tile-recursive packing (stronger modern static baseline).
+  kSTR = 1,
+  // Hilbert-curve order over record centers (Kamel & Faloutsos style):
+  // locality-preserving 1-D order, no tiling pass needed.
+  kHilbert = 2,
+};
+
+// Builds `tree` (which must be empty) from all records at once, packing
+// nodes to `fill_fraction` of capacity (default: completely full).
+// Works for RTree and SRTree alike; packing stores every record in the
+// leaves (a packed SR-Tree acquires spanning records only through later
+// dynamic inserts).
+Status BulkLoad(RTree* tree,
+                std::vector<std::pair<Rect, TupleId>> records,
+                PackingMethod method = PackingMethod::kSTR,
+                double fill_fraction = 1.0);
+
+}  // namespace segidx::rtree
+
+#endif  // SEGIDX_RTREE_BULK_LOAD_H_

@@ -1,0 +1,166 @@
+#include "rtree/node.h"
+
+#include "common/logging.h"
+#include "storage/coding.h"
+
+namespace segidx::rtree {
+
+namespace {
+
+using storage::DecodeDouble;
+using storage::DecodeU16;
+using storage::DecodeU64;
+using storage::EncodeDouble;
+using storage::EncodeU16;
+using storage::EncodeU64;
+
+void EncodeRect(uint8_t* dst, const Rect& r) {
+  EncodeDouble(dst, r.x.lo);
+  EncodeDouble(dst + 8, r.x.hi);
+  EncodeDouble(dst + 16, r.y.lo);
+  EncodeDouble(dst + 24, r.y.hi);
+}
+
+Rect DecodeRect(const uint8_t* src) {
+  Rect r;
+  r.x.lo = DecodeDouble(src);
+  r.x.hi = DecodeDouble(src + 8);
+  r.y.lo = DecodeDouble(src + 16);
+  r.y.hi = DecodeDouble(src + 24);
+  return r;
+}
+
+}  // namespace
+
+size_t Node::SerializedBytes() const {
+  if (is_leaf()) {
+    return kNodeHeaderBytes + records.size() * kLeafEntryBytes;
+  }
+  return kNodeHeaderBytes + branches.size() * kBranchEntryBytes +
+         spanning.size() * kSpanningEntryBytes;
+}
+
+Rect Node::ComputeMbr() const {
+  SEGIDX_CHECK_GT(entry_count(), 0u);
+  bool first = true;
+  Rect mbr;
+  auto fold = [&first, &mbr](const Rect& r) {
+    mbr = first ? r : mbr.Enclose(r);
+    first = false;
+  };
+  if (is_leaf()) {
+    for (const LeafEntry& e : records) fold(e.rect);
+  } else {
+    for (const BranchEntry& b : branches) fold(b.rect);
+    for (const SpanningEntry& s : spanning) fold(s.rect);
+  }
+  return mbr;
+}
+
+int Node::FindBranch(storage::PageId child) const {
+  for (size_t i = 0; i < branches.size(); ++i) {
+    if (branches[i].child == child) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Node::Serialize(uint8_t* buf, size_t buf_size) const {
+  const size_t need = SerializedBytes();
+  if (need > buf_size) {
+    return InternalError("node does not fit in its extent");
+  }
+  EncodeU16(buf, level);
+  EncodeU16(buf + 2,
+            static_cast<uint16_t>(is_leaf() ? records.size()
+                                            : branches.size()));
+  EncodeU16(buf + 4, static_cast<uint16_t>(spanning.size()));
+  size_t off = kNodeHeaderBytes;
+  if (is_leaf()) {
+    for (const LeafEntry& e : records) {
+      EncodeRect(buf + off, e.rect);
+      EncodeU64(buf + off + 32, e.tid);
+      off += kLeafEntryBytes;
+    }
+  } else {
+    for (const BranchEntry& b : branches) {
+      EncodeRect(buf + off, b.rect);
+      EncodeU64(buf + off + 32, b.child.Encode());
+      off += kBranchEntryBytes;
+    }
+    for (const SpanningEntry& s : spanning) {
+      EncodeRect(buf + off, s.rect);
+      EncodeU64(buf + off + 32, s.tid);
+      EncodeU64(buf + off + 40, s.linked_child);
+      off += kSpanningEntryBytes;
+    }
+  }
+  // Checksum guards the first six header bytes and the entry payload; it
+  // lives in the header's reserved field (docs/FILE_FORMAT.md).
+  EncodeU16(buf + 6, PageChecksum(buf, need));
+  return Status::OK();
+}
+
+uint16_t Node::PageChecksum(const uint8_t* buf, size_t serialized_bytes) {
+  const uint16_t head = storage::Checksum16(buf, 6);
+  return static_cast<uint16_t>(
+      head ^ storage::Checksum16(buf + kNodeHeaderBytes,
+                            serialized_bytes - kNodeHeaderBytes));
+}
+
+Result<Node> Node::Deserialize(const uint8_t* buf, size_t buf_size) {
+  if (buf_size < kNodeHeaderBytes) {
+    return CorruptionError("node extent smaller than header");
+  }
+  Node node;
+  node.level = DecodeU16(buf);
+  const uint16_t entry_count = DecodeU16(buf + 2);
+  const uint16_t spanning_count = DecodeU16(buf + 4);
+  size_t need = kNodeHeaderBytes;
+  if (node.level == 0) {
+    need += static_cast<size_t>(entry_count) * kLeafEntryBytes;
+    if (spanning_count != 0) {
+      return CorruptionError("leaf node with spanning records");
+    }
+  } else {
+    need += static_cast<size_t>(entry_count) * kBranchEntryBytes +
+            static_cast<size_t>(spanning_count) * kSpanningEntryBytes;
+  }
+  if (need > buf_size) {
+    return CorruptionError("node entry counts exceed extent size");
+  }
+  if (DecodeU16(buf + 6) != PageChecksum(buf, need)) {
+    return CorruptionError("node page checksum mismatch");
+  }
+  size_t off = kNodeHeaderBytes;
+  if (node.level == 0) {
+    node.records.reserve(entry_count);
+    for (uint16_t i = 0; i < entry_count; ++i) {
+      LeafEntry e;
+      e.rect = DecodeRect(buf + off);
+      e.tid = DecodeU64(buf + off + 32);
+      node.records.push_back(e);
+      off += kLeafEntryBytes;
+    }
+  } else {
+    node.branches.reserve(entry_count);
+    for (uint16_t i = 0; i < entry_count; ++i) {
+      BranchEntry b;
+      b.rect = DecodeRect(buf + off);
+      b.child = storage::PageId::Decode(DecodeU64(buf + off + 32));
+      node.branches.push_back(b);
+      off += kBranchEntryBytes;
+    }
+    node.spanning.reserve(spanning_count);
+    for (uint16_t i = 0; i < spanning_count; ++i) {
+      SpanningEntry s;
+      s.rect = DecodeRect(buf + off);
+      s.tid = DecodeU64(buf + off + 32);
+      s.linked_child = DecodeU64(buf + off + 40);
+      node.spanning.push_back(s);
+      off += kSpanningEntryBytes;
+    }
+  }
+  return node;
+}
+
+}  // namespace segidx::rtree

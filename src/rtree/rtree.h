@@ -1,0 +1,358 @@
+// Disk-paged R-Tree (Guttman 1984) with the Segment Index extension points
+// from Kolovson & Stonebraker (SIGMOD 1991).
+//
+// The plain RTree implements the classic dynamic R-Tree: ChooseLeaf by least
+// enlargement, quadratic or linear node splitting, AdjustTree, search, and
+// delete with CondenseTree. Node sizes optionally double per level
+// (Section 2.1.2). Two extension points turn it into an SR-Tree (see
+// srtree/srtree.h):
+//
+//   * TryPlaceSpanningRecord — called at every non-leaf node during the
+//     insert descent; an SR-Tree places records that span a child region
+//     here (with cutting into spanning + remnant portions);
+//   * ProcessDemotions — called after the descent for every node whose
+//     branch regions expanded; an SR-Tree demotes spanning records whose
+//     span relationship broke.
+//
+// The shared split code carries spanning records to the side that receives
+// their linked branch (paper Figure 4) and extracts records for promotion
+// when they span one of the post-split regions; for a plain R-Tree those
+// vectors are empty and the code is a no-op.
+//
+// Skeleton variants (Section 4) are produced by PreBuild() — materializing a
+// pre-partitioned hierarchy from a SkeletonSpec — plus CoalesceSparseLeaves()
+// for the adaptation pass. The policy (distribution prediction, trigger
+// cadence) lives in skeleton/.
+//
+// Region maintenance: branch rectangles only grow during inserts (so
+// pre-partitioned skeleton regions persist); splits recompute tight MBRs;
+// deletes recompute tight MBRs along the delete path.
+
+#ifndef SEGIDX_RTREE_RTREE_H_
+#define SEGIDX_RTREE_RTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "rtree/node.h"
+#include "rtree/split.h"
+#include "storage/pager.h"
+
+namespace segidx::rtree {
+
+// What an SR-Tree does with a spanning record when the target node's
+// spanning quota is full.
+enum class SpanningOverflowPolicy {
+  // The record descends and is stored deeper; the quota is a hard limit.
+  kDescend = 0,
+  // The node is split to make room (the paper's "overflow due to ... a
+  // spanning index record", Section 3.1.2). Spanning capacity grows
+  // without bound; heavy spanning workloads inflate the non-leaf levels.
+  kSplit = 1,
+  // If the incoming record is larger than the smallest spanning record on
+  // the node, the smallest is re-inserted (landing deeper) and the larger
+  // record takes its slot; otherwise the incoming record descends. The
+  // bounded slots therefore retain the *longest* records — the ones whose
+  // placement in leaves is most damaging (Section 2.1.1).
+  kEvictSmallest = 2,
+};
+
+struct TreeOptions {
+  // Double the node size at each level above the leaves (paper default).
+  bool double_node_size_per_level = true;
+  // Fraction of non-leaf entry slots reserved for branches; the remainder
+  // holds spanning records. Only meaningful when spanning is enabled
+  // (paper Section 5 uses 2/3).
+  double branch_fraction = 2.0 / 3.0;
+  // Minimum fill fraction enforced by node splits.
+  double min_fill_fraction = 0.4;
+  SplitAlgorithm split_algorithm = SplitAlgorithm::kQuadratic;
+  // SR-Tree behavior; set by SRTree. A plain RTree must leave this false.
+  bool enable_spanning = false;
+  // SR-Tree policy when a spanning record meets a node whose spanning
+  // quota (slots - BranchCapacity) is exhausted; see DESIGN.md for how
+  // each reading maps to the paper's Section 3.1.2 / Section 5 text.
+  SpanningOverflowPolicy spanning_overflow_policy =
+      SpanningOverflowPolicy::kEvictSmallest;
+};
+
+struct TreeStats {
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;
+  uint64_t searches = 0;
+  // Node accesses are logical node visits (the paper's cost metric).
+  uint64_t search_node_accesses = 0;
+  uint64_t insert_node_accesses = 0;
+  uint64_t leaf_splits = 0;
+  uint64_t nonleaf_splits = 0;
+  uint64_t root_splits = 0;
+  // SR-Tree specific counters.
+  uint64_t spanning_placed = 0;
+  uint64_t cuts = 0;
+  uint64_t remnants_inserted = 0;
+  uint64_t demotions = 0;
+  uint64_t relinks = 0;
+  uint64_t promotions = 0;
+  // Smallest-resident evictions under SpanningOverflowPolicy::kEvictSmallest.
+  uint64_t spanning_evictions = 0;
+  // Skeleton adaptation.
+  uint64_t coalesced_nodes = 0;
+};
+
+struct SearchHit {
+  TupleId tid = kInvalidTupleId;
+  // The stored entry's rectangle. A record that was cut (Section 3.1.1)
+  // surfaces once per stored piece; deduplicate by tid when the logical
+  // record is wanted.
+  Rect rect;
+};
+
+// Pre-partitioned hierarchy description for Skeleton indexes (Section 4).
+// levels[0] is the leaf level. Level k has
+// (x_bounds.size()-1) * (y_bounds.size()-1) cells. Boundaries of level k+1
+// must be subsets of level k's so that cells nest exactly; the builder in
+// skeleton/ guarantees this. An implicit root node points at every cell of
+// the top level.
+struct SkeletonLevel {
+  std::vector<Coord> x_bounds;
+  std::vector<Coord> y_bounds;
+};
+struct SkeletonSpec {
+  std::vector<SkeletonLevel> levels;
+};
+
+class RTree {
+ public:
+  // Creates an empty tree on a freshly formatted pager. The pager must
+  // outlive the tree.
+  static Result<std::unique_ptr<RTree>> Create(storage::Pager* pager,
+                                               const TreeOptions& options);
+  // Re-opens a tree persisted with SaveMeta()+pager Checkpoint(). Fails if
+  // the persisted tree was created with spanning enabled (use SRTree::Open).
+  static Result<std::unique_ptr<RTree>> Open(storage::Pager* pager);
+
+  virtual ~RTree() = default;
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+
+  // Inserts an index record for `rect` referencing `tid`. Duplicate (rect,
+  // tid) pairs are allowed, as in Guttman's R-Tree.
+  Status Insert(const Rect& rect, TupleId tid);
+
+  // Appends every stored entry intersecting `query` to `out` and reports
+  // the number of nodes accessed by this search.
+  Status Search(const Rect& query, std::vector<SearchHit>* out,
+                uint64_t* nodes_accessed = nullptr);
+
+  // Removes one stored entry equal to (rect, tid). Plain R-Tree only: an
+  // SR-Tree scopes to insert + search (paper Section 3.1.1) and returns
+  // Unimplemented. Returns NotFound if no such entry exists.
+  Status Delete(const Rect& rect, TupleId tid);
+
+  // Materializes a pre-partitioned skeleton hierarchy (the tree must be
+  // empty).
+  Status PreBuild(const SkeletonSpec& spec);
+
+  // One adaptation pass (Section 4): examines up to `max_candidates` least
+  // frequently modified leaves and merges each with a spatially adjacent
+  // same-parent sibling when their combined entries fit in one leaf.
+  // Returns the number of merges performed.
+  Result<int> CoalesceSparseLeaves(int max_candidates);
+
+  // Verifies structural invariants over the whole tree; returns the first
+  // violation as a non-OK status. `expect_min_fill` additionally demands
+  // Guttman's minimum fill in every non-root node (valid only for trees
+  // grown purely by splits).
+  Status CheckInvariants(bool expect_min_fill = false);
+
+  // Persists root/height/count/options into the pager's metadata area.
+  // Follow with pager->Checkpoint() for durability.
+  Status SaveMeta();
+
+  // Number of logical records inserted (cut remnants do not add to this).
+  uint64_t size() const { return record_count_; }
+  // 1 for a single-leaf tree.
+  int height() const { return root_level_ + 1; }
+  bool spanning_enabled() const { return options_.enable_spanning; }
+  const TreeOptions& options() const { return options_; }
+  const TreeStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = TreeStats(); }
+  storage::Pager* pager() { return pager_; }
+
+  // Entry capacity of a leaf node.
+  size_t LeafCapacity() const;
+  // Maximum branches in a non-leaf node at `level` (pure byte capacity).
+  // Branches and spanning records share the node's bytes, so an SR-Tree
+  // holding no spanning records behaves exactly like the plain R-Tree.
+  size_t BranchCapacity(int level) const;
+  // Branches the skeleton planner assumes per node: `branch_fraction`
+  // (paper: 2/3) of the entry bytes, leaving the rest for expected
+  // spanning records (paper Section 4).
+  size_t BranchPlanningCapacity(int level) const;
+  // Per-node spanning-record quota: the reserved (1 - branch_fraction)
+  // byte share (enforced under kDescend / kEvictSmallest).
+  size_t SpanningCapacity(int level) const;
+
+  // Total index nodes, by level (level 0 first); walks the tree.
+  Result<std::vector<uint64_t>> CountNodesPerLevel();
+
+  // Writes an indented human-readable dump of the tree structure to `os`
+  // (regions, entry counts, spanning records), descending at most
+  // `max_depth` levels below the root; -1 dumps the whole tree.
+  Status DumpStructure(std::ostream& os, int max_depth = -1);
+
+  // Aggregate per-level structure statistics (walks the tree).
+  struct LevelStats {
+    uint64_t nodes = 0;
+    uint64_t branch_entries = 0;    // Leaf records at level 0.
+    uint64_t spanning_entries = 0;
+    double avg_region_width = 0;    // Mean node-region X extent.
+    double avg_region_height = 0;   // Mean node-region Y extent.
+    double max_region_width = 0;
+  };
+  Result<std::vector<LevelStats>> CollectLevelStats();
+
+ protected:
+  // Insert-time bookkeeping threaded through the recursion.
+  struct InsertContext {
+    // Records queued for (re)insertion: cut remnants, demoted or evicted
+    // spanning records.
+    std::vector<std::pair<Rect, TupleId>> reinserts;
+    // Nodes whose branch rectangles expanded during the descent; demotion
+    // candidates for the SR-Tree.
+    std::vector<storage::PageId> expanded_nodes;
+    // Set when the record was consumed as a spanning record: the stored
+    // portion is already contained in every region on the descent path, so
+    // ancestors must not expand their regions by the full original rect
+    // (cut remnants are re-inserted separately and expand their own
+    // paths).
+    bool consumed_as_spanning = false;
+  };
+
+  enum class SpanningPlacement {
+    kNotPlaced,
+    kPlaced,
+    // Placed, but the node is now over-full and must be split by the
+    // caller (paper Section 3.1.2: a node may overflow due to a spanning
+    // insert). The hook leaves the over-full node unwritten.
+    kPlacedOverflow,
+  };
+
+  RTree(storage::Pager* pager, const TreeOptions& options);
+
+  // SR-Tree extension point: try to consume (rect, tid) as a spanning
+  // record on `node` (whose region is `node_region`; `is_root` disables
+  // cutting in favor of growing the root region). On kPlaced the node has
+  // been modified and written back, and `node_region` updated if the root
+  // region grew.
+  virtual Result<SpanningPlacement> TryPlaceSpanningRecord(
+      storage::PageId node_id, Node* node, Rect* node_region, bool is_root,
+      const Rect& rect, TupleId tid, InsertContext* ctx);
+
+  // SR-Tree extension point: demote spanning records invalidated by the
+  // region expansions recorded in `ctx` (into ctx->reinserts).
+  virtual Status ProcessDemotions(InsertContext* ctx);
+
+  // --- shared machinery used by SRTree ---------------------------------
+
+  // Initializes a fresh single-leaf tree (used by the factory functions).
+  Status SetupEmptyRoot();
+  // Restores tree state from the pager's metadata area.
+  Status LoadMeta();
+
+  Result<Node> ReadNode(storage::PageId id);
+  Status WriteNode(storage::PageId id, const Node& node);
+  uint8_t SizeClassForLevel(int level) const;
+  size_t NodeBytes(int level) const;
+  // Whether `node` (not yet written) exceeds its extent or branch quota
+  // and must be split.
+  bool NonLeafOverflowed(const Node& node) const;
+  // Whether one more spanning entry still fits in the node's bytes.
+  bool HasByteRoomForSpanning(const Node& node) const;
+  // Node visit accounting for the active operation.
+  void CountNodeAccess() { ++op_node_accesses_; }
+
+  TreeOptions options_;
+  TreeStats stats_;
+
+ private:
+  // Static packed construction (bulk_load.h) builds nodes directly.
+  friend Status BulkLoadInternal(RTree* tree,
+                                 std::vector<std::pair<Rect, TupleId>>*,
+                                 int method, double fill_fraction);
+
+  // Inserts one physical record (an original record, a cut remnant, or a
+  // demoted spanning record).
+  Status InsertOne(const Rect& rect, TupleId tid, InsertContext* ctx);
+
+  // Recursive descent. `node_region` is this node's region as recorded in
+  // its parent (for the root: root_region_). Returns the branch for a new
+  // sibling if this node split. Updates *node_region to the (possibly
+  // grown) region.
+  Result<std::optional<BranchEntry>> InsertRecursive(storage::PageId node_id,
+                                                     Rect* node_region,
+                                                     bool is_root,
+                                                     const Rect& rect,
+                                                     TupleId tid,
+                                                     InsertContext* ctx);
+
+  // Chooses the branch requiring least enlargement (ties: smaller area).
+  static size_t ChooseSubtree(const Node& node, const Rect& rect);
+
+  // Splits `node` (already over capacity in memory). Writes both halves and
+  // returns the branch entry for the new sibling. `self_region_out`
+  // receives the surviving node's tight region. Spanning records are
+  // carried with their linked branch; records spanning a post-split region
+  // are extracted into ctx->reinserts (promotion via reinsertion).
+  Result<BranchEntry> SplitNode(storage::PageId node_id, Node* node,
+                                Rect* self_region_out, InsertContext* ctx);
+
+  Status GrowRootAfterSplit(const BranchEntry& old_root,
+                            const BranchEntry& sibling);
+
+  // Delete helpers (plain R-Tree).
+  struct PathEntry {
+    storage::PageId id;
+    int branch_index_in_parent = -1;  // -1 for the root.
+  };
+  Result<bool> DeleteRecursive(storage::PageId node_id, const Rect& rect,
+                               TupleId tid,
+                               std::vector<std::pair<Rect, TupleId>>* orphans,
+                               Rect* region_out, bool* underflow_out);
+
+  // Invariant-check recursion.
+  Status CheckNodeInvariants(storage::PageId id, const Rect& region,
+                             bool is_root, int expected_level,
+                             bool expect_min_fill, uint64_t* entries_seen);
+
+  // Leaf bookkeeping for coalescing.
+  void NoteLeafModified(uint32_t block);
+  void ForgetLeaf(uint32_t block);
+
+  storage::Pager* pager_;
+
+  storage::PageId root_;
+  int root_level_ = 0;
+  Rect root_region_;
+  bool root_region_valid_ = false;
+  uint64_t record_count_ = 0;
+
+  // Modification counts per leaf block (Section 4's "least frequently
+  // modified" statistic). Rebuilt lazily after Open().
+  std::unordered_map<uint32_t, uint64_t> leaf_mod_counts_;
+
+  uint64_t op_node_accesses_ = 0;
+};
+
+}  // namespace segidx::rtree
+
+#endif  // SEGIDX_RTREE_RTREE_H_

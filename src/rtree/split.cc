@@ -1,0 +1,250 @@
+#include "rtree/split.h"
+
+#include <algorithm>
+#include <limits>
+
+#include <cstddef>
+
+#include "common/logging.h"
+
+namespace segidx::rtree {
+
+namespace {
+
+// State shared by both distribution loops.
+struct Groups {
+  std::vector<int> a;
+  std::vector<int> b;
+  Rect mbr_a;
+  Rect mbr_b;
+
+  void AddA(int i, const Rect& r) {
+    mbr_a = a.empty() ? r : mbr_a.Enclose(r);
+    a.push_back(i);
+  }
+  void AddB(int i, const Rect& r) {
+    mbr_b = b.empty() ? r : mbr_b.Enclose(r);
+    b.push_back(i);
+  }
+};
+
+// Guttman PickSeeds (quadratic): choose the pair wasting the most area if
+// grouped together.
+std::pair<int, int> QuadraticPickSeeds(const std::vector<Rect>& rects) {
+  int seed_a = 0;
+  int seed_b = 1;
+  Coord worst = -std::numeric_limits<Coord>::infinity();
+  for (size_t i = 0; i < rects.size(); ++i) {
+    for (size_t j = i + 1; j < rects.size(); ++j) {
+      const Coord waste = rects[i].Enclose(rects[j]).area() -
+                          rects[i].area() - rects[j].area();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = static_cast<int>(i);
+        seed_b = static_cast<int>(j);
+      }
+    }
+  }
+  return {seed_a, seed_b};
+}
+
+// Guttman linear PickSeeds: in each dimension find the two rectangles with
+// the greatest normalized separation.
+std::pair<int, int> LinearPickSeeds(const std::vector<Rect>& rects) {
+  const int n = static_cast<int>(rects.size());
+
+  auto pick_dim = [&rects, n](auto get_interval) {
+    int highest_low = 0;
+    int lowest_high = 0;
+    Coord min_lo = get_interval(rects[0]).lo;
+    Coord max_hi = get_interval(rects[0]).hi;
+    for (int i = 1; i < n; ++i) {
+      const Interval iv = get_interval(rects[i]);
+      if (iv.lo > get_interval(rects[highest_low]).lo) highest_low = i;
+      if (iv.hi < get_interval(rects[lowest_high]).hi) lowest_high = i;
+      min_lo = std::min(min_lo, iv.lo);
+      max_hi = std::max(max_hi, iv.hi);
+    }
+    const Coord width = max_hi - min_lo;
+    const Coord separation = get_interval(rects[highest_low]).lo -
+                             get_interval(rects[lowest_high]).hi;
+    const Coord normalized = width > 0 ? separation / width : separation;
+    struct Out {
+      Coord norm;
+      int s1;
+      int s2;
+    };
+    return Out{normalized, highest_low, lowest_high};
+  };
+
+  const auto x = pick_dim([](const Rect& r) { return r.x; });
+  const auto y = pick_dim([](const Rect& r) { return r.y; });
+  int s1 = x.norm >= y.norm ? x.s1 : y.s1;
+  int s2 = x.norm >= y.norm ? x.s2 : y.s2;
+  if (s1 == s2) {
+    // Degenerate (e.g., identical rects): pick any distinct pair.
+    s2 = (s1 + 1) % n;
+  }
+  return {s1, s2};
+}
+
+// R* split: axis by minimum margin sum, distribution by minimum overlap
+// (ties: minimum combined area).
+SplitPartition RStarSplit(const std::vector<Rect>& rects, size_t min_fill) {
+  const size_t n = rects.size();
+
+  struct Candidate {
+    std::vector<int> order;  // Entry indices in sorted order.
+    size_t split_at = 0;     // Group A = order[0 .. split_at).
+    Coord overlap = 0;
+    Coord total_area = 0;
+  };
+
+  auto evaluate_axis = [&rects, n, min_fill](auto key) {
+    std::vector<int> order(n);
+    for (size_t i = 0; i < n; ++i) order[i] = static_cast<int>(i);
+    std::sort(order.begin(), order.end(),
+              [&rects, &key](int a, int b) { return key(rects[a], rects[b]); });
+
+    // Prefix/suffix MBRs make each distribution O(1).
+    std::vector<Rect> prefix(n);
+    std::vector<Rect> suffix(n);
+    prefix[0] = rects[static_cast<size_t>(order[0])];
+    for (size_t i = 1; i < n; ++i) {
+      prefix[i] = prefix[i - 1].Enclose(rects[static_cast<size_t>(order[i])]);
+    }
+    suffix[n - 1] = rects[static_cast<size_t>(order[n - 1])];
+    for (size_t i = n - 1; i-- > 0;) {
+      suffix[i] = suffix[i + 1].Enclose(rects[static_cast<size_t>(order[i])]);
+    }
+
+    Coord margin_sum = 0;
+    Candidate best;
+    best.order = order;
+    best.overlap = std::numeric_limits<Coord>::infinity();
+    best.total_area = std::numeric_limits<Coord>::infinity();
+    for (size_t k = min_fill; k + min_fill <= n; ++k) {
+      const Rect& a = prefix[k - 1];
+      const Rect& b = suffix[k];
+      margin_sum += a.margin() + b.margin();
+      const Coord overlap = a.Intersects(b) ? a.Intersect(b).area() : 0;
+      const Coord total_area = a.area() + b.area();
+      if (overlap < best.overlap ||
+          (overlap == best.overlap && total_area < best.total_area)) {
+        best.overlap = overlap;
+        best.total_area = total_area;
+        best.split_at = k;
+      }
+    }
+    struct Out {
+      Coord margin_sum;
+      Candidate candidate;
+    };
+    return Out{margin_sum, std::move(best)};
+  };
+
+  // R* evaluates both sort keys per axis; sorting by (lo, hi) pairs is the
+  // common consolidation and preserves the axis-selection behavior.
+  auto x_axis = evaluate_axis([](const Rect& a, const Rect& b) {
+    if (a.x.lo != b.x.lo) return a.x.lo < b.x.lo;
+    return a.x.hi < b.x.hi;
+  });
+  auto y_axis = evaluate_axis([](const Rect& a, const Rect& b) {
+    if (a.y.lo != b.y.lo) return a.y.lo < b.y.lo;
+    return a.y.hi < b.y.hi;
+  });
+  const Candidate& chosen = x_axis.margin_sum <= y_axis.margin_sum
+                                ? x_axis.candidate
+                                : y_axis.candidate;
+
+  SplitPartition out;
+  out.group_a.assign(chosen.order.begin(),
+                     chosen.order.begin() +
+                         static_cast<ptrdiff_t>(chosen.split_at));
+  out.group_b.assign(chosen.order.begin() +
+                         static_cast<ptrdiff_t>(chosen.split_at),
+                     chosen.order.end());
+  return out;
+}
+
+}  // namespace
+
+SplitPartition SplitRects(const std::vector<Rect>& rects, size_t min_fill,
+                          SplitAlgorithm algorithm) {
+  const size_t n = rects.size();
+  SEGIDX_CHECK_GE(n, 2u);
+  min_fill = std::max<size_t>(1, std::min(min_fill, n / 2));
+
+  if (algorithm == SplitAlgorithm::kRStar) {
+    return RStarSplit(rects, min_fill);
+  }
+
+  const auto [seed_a, seed_b] = algorithm == SplitAlgorithm::kQuadratic
+                                    ? QuadraticPickSeeds(rects)
+                                    : LinearPickSeeds(rects);
+
+  Groups g;
+  g.AddA(seed_a, rects[seed_a]);
+  g.AddB(seed_b, rects[seed_b]);
+
+  std::vector<int> remaining;
+  remaining.reserve(n - 2);
+  for (int i = 0; i < static_cast<int>(n); ++i) {
+    if (i != seed_a && i != seed_b) remaining.push_back(i);
+  }
+
+  while (!remaining.empty()) {
+    // Force assignment when one group must take everything left to reach
+    // min_fill.
+    if (g.a.size() + remaining.size() == min_fill) {
+      for (int i : remaining) g.AddA(i, rects[i]);
+      break;
+    }
+    if (g.b.size() + remaining.size() == min_fill) {
+      for (int i : remaining) g.AddB(i, rects[i]);
+      break;
+    }
+
+    size_t pick_pos = 0;
+    if (algorithm == SplitAlgorithm::kQuadratic) {
+      // Guttman PickNext: maximal difference of enlargement preference.
+      Coord best_diff = -1;
+      for (size_t p = 0; p < remaining.size(); ++p) {
+        const Rect& r = rects[remaining[p]];
+        const Coord da = g.mbr_a.Enlargement(r);
+        const Coord db = g.mbr_b.Enlargement(r);
+        const Coord diff = da > db ? da - db : db - da;
+        if (diff > best_diff) {
+          best_diff = diff;
+          pick_pos = p;
+        }
+      }
+    }
+    const int idx = remaining[pick_pos];
+    remaining.erase(remaining.begin() + static_cast<ptrdiff_t>(pick_pos));
+    const Rect& r = rects[idx];
+
+    const Coord da = g.mbr_a.Enlargement(r);
+    const Coord db = g.mbr_b.Enlargement(r);
+    bool to_a;
+    if (da != db) {
+      to_a = da < db;
+    } else if (g.mbr_a.area() != g.mbr_b.area()) {
+      to_a = g.mbr_a.area() < g.mbr_b.area();
+    } else {
+      to_a = g.a.size() <= g.b.size();
+    }
+    if (to_a) {
+      g.AddA(idx, rects[idx]);
+    } else {
+      g.AddB(idx, rects[idx]);
+    }
+  }
+
+  SplitPartition out;
+  out.group_a = std::move(g.a);
+  out.group_b = std::move(g.b);
+  return out;
+}
+
+}  // namespace segidx::rtree

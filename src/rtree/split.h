@@ -1,0 +1,42 @@
+// Node splitting heuristics from Guttman's R-Tree paper: the quadratic-cost
+// and linear-cost algorithms. Both partition a set of rectangles into two
+// groups, each holding at least `min_fill` entries, trying to minimize the
+// total area of the two covering rectangles.
+
+#ifndef SEGIDX_RTREE_SPLIT_H_
+#define SEGIDX_RTREE_SPLIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace segidx::rtree {
+
+enum class SplitAlgorithm {
+  // Guttman's quadratic-cost algorithm (the paper's configuration).
+  kQuadratic = 0,
+  // Guttman's linear-cost algorithm.
+  kLinear = 1,
+  // The R*-Tree split (Beckmann et al. 1990, the paper's [BECK90]
+  // reference): choose the split axis by minimum margin sum, then the
+  // distribution along it by minimum overlap. Split only — R*'s forced
+  // reinsertion is not performed.
+  kRStar = 2,
+};
+
+// Indices of the input rectangles assigned to each side. Every input index
+// appears in exactly one group; both groups are non-empty and, when the
+// input size permits, hold at least `min_fill` entries.
+struct SplitPartition {
+  std::vector<int> group_a;
+  std::vector<int> group_b;
+};
+
+// Requires rects.size() >= 2. `min_fill` is clamped to rects.size() / 2.
+SplitPartition SplitRects(const std::vector<Rect>& rects, size_t min_fill,
+                          SplitAlgorithm algorithm);
+
+}  // namespace segidx::rtree
+
+#endif  // SEGIDX_RTREE_SPLIT_H_

@@ -1,0 +1,95 @@
+#include "skeleton/skeleton_index.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "skeleton/spec_builder.h"
+
+namespace segidx::skeleton {
+
+SkeletonIndex::SkeletonIndex(rtree::RTree* tree,
+                             const SkeletonOptions& options)
+    : tree_(tree),
+      options_(options),
+      x_hist_(options.x_domain, options.histogram_buckets),
+      y_hist_(options.y_domain, options.histogram_buckets) {
+  SEGIDX_CHECK(tree != nullptr);
+  SEGIDX_CHECK(tree->size() == 0);
+  buffer_.reserve(options.prediction_sample);
+}
+
+SkeletonIndex::SkeletonIndex(rtree::RTree* tree,
+                             const SkeletonOptions& options, ResumeTag)
+    : tree_(tree),
+      options_(options),
+      built_(true),
+      inserted_(tree->size()),
+      x_hist_(options.x_domain, options.histogram_buckets),
+      y_hist_(options.y_domain, options.histogram_buckets) {
+  SEGIDX_CHECK(tree != nullptr);
+}
+
+std::unique_ptr<SkeletonIndex> SkeletonIndex::Resume(
+    rtree::RTree* tree, const SkeletonOptions& options) {
+  return std::unique_ptr<SkeletonIndex>(
+      new SkeletonIndex(tree, options, ResumeTag{}));
+}
+
+Status SkeletonIndex::Insert(const Rect& rect, TupleId tid) {
+  ++inserted_;
+  if (!built_) {
+    // Distribution prediction: histogram the record centers.
+    x_hist_.Add(rect.x.center());
+    y_hist_.Add(rect.y.center());
+    buffer_.emplace_back(rect, tid);
+    if (buffer_.size() >= options_.prediction_sample) {
+      SEGIDX_RETURN_IF_ERROR(Finalize());
+    }
+    return Status::OK();
+  }
+
+  SEGIDX_RETURN_IF_ERROR(tree_->Insert(rect, tid));
+  if (options_.coalesce_interval > 0 &&
+      ++since_coalesce_ >= options_.coalesce_interval) {
+    since_coalesce_ = 0;
+    SEGIDX_ASSIGN_OR_RETURN(
+        int merged,
+        tree_->CoalesceSparseLeaves(options_.coalesce_candidates));
+    (void)merged;
+  }
+  return Status::OK();
+}
+
+Status SkeletonIndex::Finalize() {
+  if (built_) return Status::OK();
+
+  SpecBuilderParams params;
+  params.expected_tuples =
+      std::max<uint64_t>(options_.expected_tuples, buffer_.size());
+  params.leaf_fanout = tree_->LeafCapacity();
+  params.branch_fanout = [this](int level) {
+    return tree_->BranchPlanningCapacity(level);
+  };
+  SEGIDX_ASSIGN_OR_RETURN(rtree::SkeletonSpec spec,
+                          BuildSkeletonSpec(params, x_hist_, y_hist_));
+  SEGIDX_RETURN_IF_ERROR(tree_->PreBuild(spec));
+  built_ = true;
+
+  for (const auto& [rect, tid] : buffer_) {
+    SEGIDX_RETURN_IF_ERROR(tree_->Insert(rect, tid));
+  }
+  buffer_.clear();
+  buffer_.shrink_to_fit();
+  return Status::OK();
+}
+
+Status SkeletonIndex::Search(const Rect& query,
+                             std::vector<rtree::SearchHit>* out,
+                             uint64_t* nodes_accessed) {
+  if (!built_) {
+    SEGIDX_RETURN_IF_ERROR(Finalize());
+  }
+  return tree_->Search(query, out, nodes_accessed);
+}
+
+}  // namespace segidx::skeleton

@@ -1,0 +1,100 @@
+// Skeleton index policy (paper Section 4): distribution prediction,
+// pre-construction, and the periodic coalescing pass.
+//
+// A SkeletonIndex wraps an (empty) R-Tree or SR-Tree:
+//   1. the first `prediction_sample` inserts are buffered in memory while
+//      per-dimension histograms of the record centers accumulate
+//      ("distribution prediction"; the paper found 5-10% of the expected
+//      input to work well);
+//   2. the skeleton hierarchy is then computed (spec_builder.h) and
+//      materialized (RTree::PreBuild), and the buffered records are
+//      inserted;
+//   3. afterwards every insert goes straight to the tree, and after every
+//      `coalesce_interval` inserts the `coalesce_candidates` least
+//      frequently modified leaves are considered for merging with an
+//      adjacent sibling (RTree::CoalesceSparseLeaves).
+//
+// With `prediction_sample == 0` the skeleton is built immediately from the
+// configured domains assuming a uniform distribution (the paper's
+// alternative when no sample is available).
+
+#ifndef SEGIDX_SKELETON_SKELETON_INDEX_H_
+#define SEGIDX_SKELETON_SKELETON_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/histogram.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "rtree/rtree.h"
+
+namespace segidx::skeleton {
+
+struct SkeletonOptions {
+  // Estimated total number of tuples (sizes the hierarchy).
+  uint64_t expected_tuples = 100000;
+  // Number of initial inserts buffered for distribution prediction.
+  // 0 builds immediately with uniform histograms.
+  uint64_t prediction_sample = 10000;
+  // Domain of the data in each dimension.
+  Interval x_domain{0, 100000};
+  Interval y_domain{0, 100000};
+  // Histogram resolution used for distribution prediction.
+  int histogram_buckets = 100;
+  // Run a coalescing pass after every this many post-build inserts
+  // (paper: 1000). 0 disables coalescing.
+  uint64_t coalesce_interval = 1000;
+  // Leaves examined per coalescing pass (paper: 10).
+  int coalesce_candidates = 10;
+};
+
+class SkeletonIndex {
+ public:
+  // `tree` must be empty and outlive this object.
+  SkeletonIndex(rtree::RTree* tree, const SkeletonOptions& options);
+
+  // Wraps an already-built skeleton tree (e.g., re-opened from disk): the
+  // prediction phase is skipped and inserts go straight to the tree.
+  static std::unique_ptr<SkeletonIndex> Resume(rtree::RTree* tree,
+                                               const SkeletonOptions& options);
+
+  // Buffers or forwards one record; may trigger skeleton construction or a
+  // coalescing pass.
+  Status Insert(const Rect& rect, TupleId tid);
+
+  // Builds the skeleton from whatever sample has accumulated and flushes
+  // the buffer. Idempotent. Called automatically by the first Search()
+  // while still buffering.
+  Status Finalize();
+
+  // Forwards to the tree (after Finalize()).
+  Status Search(const Rect& query, std::vector<rtree::SearchHit>* out,
+                uint64_t* nodes_accessed = nullptr);
+
+  bool built() const { return built_; }
+  uint64_t inserted() const { return inserted_; }
+  rtree::RTree* tree() { return tree_; }
+
+ private:
+  struct ResumeTag {};
+  SkeletonIndex(rtree::RTree* tree, const SkeletonOptions& options,
+                ResumeTag tag);
+
+  rtree::RTree* tree_;
+  SkeletonOptions options_;
+
+  bool built_ = false;
+  uint64_t inserted_ = 0;
+  uint64_t since_coalesce_ = 0;
+  std::vector<std::pair<Rect, TupleId>> buffer_;
+  Histogram x_hist_;
+  Histogram y_hist_;
+};
+
+}  // namespace segidx::skeleton
+
+#endif  // SEGIDX_SKELETON_SKELETON_INDEX_H_

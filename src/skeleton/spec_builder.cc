@@ -1,0 +1,128 @@
+#include "skeleton/spec_builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace segidx::skeleton {
+
+namespace {
+
+// ceil(sqrt(x)) for positive integers.
+uint64_t CeilSqrt(uint64_t x) {
+  uint64_t r = static_cast<uint64_t>(std::sqrt(static_cast<double>(x)));
+  while (r * r < x) ++r;
+  while (r > 0 && (r - 1) * (r - 1) >= x) --r;
+  return r;
+}
+
+uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+Result<rtree::SkeletonSpec> BuildSkeletonSpec(const SpecBuilderParams& params,
+                                              const Histogram& x_hist,
+                                              const Histogram& y_hist) {
+  if (params.expected_tuples == 0) {
+    return InvalidArgumentError("expected_tuples must be positive");
+  }
+  if (params.leaf_fanout == 0) {
+    return InvalidArgumentError("leaf_fanout must be positive");
+  }
+  if (!params.branch_fanout) {
+    return InvalidArgumentError("branch_fanout callback is required");
+  }
+
+  // Paper recurrence: partitions-per-dimension P[level] with
+  // P[level]^2 = number_of_nodes[level].
+  std::vector<uint64_t> partitions;
+  uint64_t n = params.expected_tuples;
+  {
+    uint64_t nodes = CeilSqrt(CeilDiv(n, params.leaf_fanout));
+    nodes = std::max<uint64_t>(nodes, 1);
+    partitions.push_back(nodes);
+    n = nodes * nodes;
+  }
+  int level = 1;
+  while (n > 1) {
+    const size_t fanout = std::max<size_t>(params.branch_fanout(level), 2);
+    uint64_t p = CeilSqrt(CeilDiv(n, fanout));
+    p = std::max<uint64_t>(p, 1);
+    if (p >= partitions.back()) {
+      // Degenerate input (tiny fanout); force convergence.
+      p = std::max<uint64_t>(partitions.back() / 2, 1);
+    }
+    if (p == 1) break;
+    partitions.push_back(p);
+    n = p * p;
+    ++level;
+  }
+
+  // Fix-up pass: the proportional grouping assigns at most
+  // ceil(P[l-1] / P[l]) cells per dimension of a parent cell; make sure
+  // that never exceeds the branch capacity (the paper's recurrence does not
+  // guarantee this for every rounding outcome).
+  for (size_t li = 1; li < partitions.size(); ++li) {
+    const size_t fanout =
+        std::max<size_t>(params.branch_fanout(static_cast<int>(li)), 2);
+    while (true) {
+      const uint64_t group = CeilDiv(partitions[li - 1], partitions[li]);
+      if (group * group <= fanout) break;
+      ++partitions[li];
+    }
+    partitions[li] = std::min(partitions[li], partitions[li - 1]);
+  }
+  // Drop trailing levels that collapsed to a single cell; the implicit
+  // root covers the top level.
+  while (partitions.size() > 1 && partitions.back() == 1) {
+    partitions.pop_back();
+  }
+  // The implicit root must be able to hold every top-level cell.
+  {
+    const int root_level = static_cast<int>(partitions.size());
+    const size_t root_fanout =
+        std::max<size_t>(params.branch_fanout(root_level), 2);
+    while (partitions.size() > 1 &&
+           partitions.back() * partitions.back() > root_fanout) {
+      // Too many top cells for one root: add a coarser level on top.
+      const size_t fanout = std::max<size_t>(
+          params.branch_fanout(static_cast<int>(partitions.size())), 2);
+      uint64_t p = CeilSqrt(CeilDiv(partitions.back() * partitions.back(),
+                                    fanout));
+      p = std::max<uint64_t>(p, 1);
+      if (p >= partitions.back()) p = partitions.back() - 1;
+      if (p <= 1) break;
+      partitions.push_back(p);
+    }
+  }
+
+  // Leaf-level boundaries: equi-depth quantiles of the histograms.
+  const int leaf_parts = static_cast<int>(partitions[0]);
+  rtree::SkeletonSpec spec;
+  spec.levels.resize(partitions.size());
+  spec.levels[0].x_bounds = x_hist.EquiDepthBoundaries(leaf_parts);
+  spec.levels[0].y_bounds = y_hist.EquiDepthBoundaries(leaf_parts);
+
+  // Upper levels: subset selection by proportional grouping. Parent cell j
+  // of a level with Q partitions covers leaf slots [floor(j*P/Q),
+  // floor((j+1)*P/Q)) of the level below (P partitions).
+  for (size_t li = 1; li < partitions.size(); ++li) {
+    const uint64_t p_below = partitions[li - 1];
+    const uint64_t q = partitions[li];
+    auto subset = [p_below, q](const std::vector<Coord>& below) {
+      std::vector<Coord> bounds;
+      bounds.reserve(q + 1);
+      for (uint64_t j = 0; j <= q; ++j) {
+        bounds.push_back(below[j * p_below / q]);
+      }
+      return bounds;
+    };
+    spec.levels[li].x_bounds = subset(spec.levels[li - 1].x_bounds);
+    spec.levels[li].y_bounds = subset(spec.levels[li - 1].y_bounds);
+  }
+  return spec;
+}
+
+}  // namespace segidx::skeleton

@@ -1,0 +1,47 @@
+// Computes the pre-partitioned hierarchy of a Skeleton index (paper
+// Section 4): the number of nodes per level follows the paper's recurrence
+//
+//   n = number_of_tuples;
+//   while (n > 1) {
+//     number_of_nodes[level] = ceil(sqrt(ceil(n / fanout[level])))^2;
+//     n = number_of_nodes[level]; ++level;
+//   }
+//
+// (node counts are rounded up to perfect squares so every level is an equal
+// grid in both dimensions), and the partition boundaries at the leaf level
+// are equi-depth quantiles of per-dimension histograms. Boundaries of upper
+// levels are subsets of the leaf boundaries chosen by proportional grouping
+// so cells nest exactly (see DESIGN.md).
+
+#ifndef SEGIDX_SKELETON_SPEC_BUILDER_H_
+#define SEGIDX_SKELETON_SPEC_BUILDER_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/histogram.h"
+#include "common/status.h"
+#include "rtree/rtree.h"
+
+namespace segidx::skeleton {
+
+struct SpecBuilderParams {
+  // Estimated number of tuples to be inserted.
+  uint64_t expected_tuples = 0;
+  // Entry capacity of a leaf node.
+  size_t leaf_fanout = 0;
+  // Branch capacity of a non-leaf node at the given level (>= 1). For
+  // SR-Trees this is the branch-reserved quota (paper: 2/3 of the slots).
+  std::function<size_t(int level)> branch_fanout;
+};
+
+// Computes the skeleton hierarchy for the domains and mass distributions
+// captured by `x_hist` / `y_hist`. Empty histograms produce uniform
+// partitions over their domains.
+Result<rtree::SkeletonSpec> BuildSkeletonSpec(const SpecBuilderParams& params,
+                                              const Histogram& x_hist,
+                                              const Histogram& y_hist);
+
+}  // namespace segidx::skeleton
+
+#endif  // SEGIDX_SKELETON_SPEC_BUILDER_H_

@@ -1,0 +1,207 @@
+#include "srtree/srtree.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/logging.h"
+
+namespace segidx::srtree {
+
+using rtree::BranchEntry;
+using rtree::Node;
+using rtree::SpanningEntry;
+using rtree::TreeOptions;
+
+Result<std::unique_ptr<SRTree>> SRTree::Create(storage::Pager* pager,
+                                               const TreeOptions& options) {
+  if (options.branch_fraction <= 0 || options.branch_fraction >= 1) {
+    return InvalidArgumentError(
+        "SR-Tree branch_fraction must be in (0, 1) so that spanning "
+        "records have capacity");
+  }
+  if (options.min_fill_fraction <= 0 || options.min_fill_fraction > 0.5) {
+    return InvalidArgumentError("min_fill_fraction must be in (0, 0.5]");
+  }
+  TreeOptions effective = options;
+  effective.enable_spanning = true;
+  std::unique_ptr<SRTree> tree(new SRTree(pager, effective));
+  SEGIDX_RETURN_IF_ERROR(tree->SetupEmptyRoot());
+  return tree;
+}
+
+Result<std::unique_ptr<SRTree>> SRTree::Open(storage::Pager* pager) {
+  TreeOptions options;
+  std::unique_ptr<SRTree> tree(new SRTree(pager, options));
+  SEGIDX_RETURN_IF_ERROR(tree->LoadMeta());
+  if (!tree->options().enable_spanning) {
+    return InvalidArgumentError(
+        "file holds a plain R-Tree; open it with RTree::Open");
+  }
+  return tree;
+}
+
+Result<rtree::RTree::SpanningPlacement> SRTree::TryPlaceSpanningRecord(
+    storage::PageId node_id, Node* node, Rect* node_region, bool is_root,
+    const Rect& rect, TupleId tid, InsertContext* ctx) {
+  SEGIDX_DCHECK(!node->is_leaf());
+  const int level = node->level;
+
+  // Find a branch whose region the record spans (Section 3.1.1: spanning
+  // in either or both dimensions qualifies).
+  const BranchEntry* spanned = nullptr;
+  for (const BranchEntry& b : node->branches) {
+    if (rect.SpansRegion(b.rect)) {
+      spanned = &b;
+      break;
+    }
+  }
+  if (spanned == nullptr) return SpanningPlacement::kNotPlaced;
+
+  // Determine the portion that would be stored here. Cutting (Figure 3) is
+  // committed — remnants queued — only once placement is certain.
+  Rect portion = rect;
+  bool was_cut = false;
+  CutResult cut;
+  bool grow_root = false;
+  if (!node_region->Contains(rect)) {
+    if (is_root) {
+      // The root has no parent region constraining it; growing the root
+      // region is free of overlap cost, so no cut is needed.
+      grow_root = true;
+    } else if (rect.Intersects(*node_region)) {
+      // The spanning portion still spans `spanned` because the spanned
+      // branch region is contained in this node's region.
+      cut = CutRecord(rect, *node_region);
+      portion = cut.spanning_portion;
+      was_cut = true;
+      SEGIDX_DCHECK(portion.SpansRegion(spanned->rect));
+    } else {
+      // The record is disjoint from this node's region (the descent may
+      // pass through nodes that do not yet cover the record); placement
+      // here is impossible without stretching the node, which the paper
+      // rejects. Let the record descend.
+      return SpanningPlacement::kNotPlaced;
+    }
+  }
+
+  // Capacity resolution per the configured overflow policy.
+  const bool quota_full = node->spanning.size() >= SpanningCapacity(level);
+  const bool node_full = !HasByteRoomForSpanning(*node);
+  bool split_after_place = false;
+  switch (options_.spanning_overflow_policy) {
+    case rtree::SpanningOverflowPolicy::kDescend:
+      if (quota_full || node_full) return SpanningPlacement::kNotPlaced;
+      break;
+    case rtree::SpanningOverflowPolicy::kSplit:
+      if (node_full) {
+        // Splitting needs at least two branches to distribute; a
+        // single-branch full node lets the record descend instead.
+        if (node->branches.size() < 2) return SpanningPlacement::kNotPlaced;
+        split_after_place = true;
+      }
+      break;
+    case rtree::SpanningOverflowPolicy::kEvictSmallest:
+      if (quota_full || node_full) {
+        if (node->spanning.empty()) return SpanningPlacement::kNotPlaced;
+        // Keep the longest records in the bounded slots: displace the
+        // smallest resident if the newcomer is strictly larger. margin()
+        // (width + height) orders degenerate segments by length, where
+        // area() would compare every segment as zero.
+        size_t smallest = 0;
+        for (size_t i = 1; i < node->spanning.size(); ++i) {
+          if (node->spanning[i].rect.margin() <
+              node->spanning[smallest].rect.margin()) {
+            smallest = i;
+          }
+        }
+        if (portion.margin() <= node->spanning[smallest].rect.margin()) {
+          return SpanningPlacement::kNotPlaced;
+        }
+        ctx->reinserts.emplace_back(node->spanning[smallest].rect,
+                                    node->spanning[smallest].tid);
+        node->spanning.erase(node->spanning.begin() +
+                             static_cast<ptrdiff_t>(smallest));
+        ++stats_.spanning_evictions;
+      }
+      break;
+  }
+
+  if (grow_root) {
+    *node_region = node_region->Enclose(rect);
+  }
+  if (was_cut) {
+    for (const Rect& remnant : cut.remnants) {
+      ctx->reinserts.emplace_back(remnant, tid);
+      ++stats_.remnants_inserted;
+    }
+    ++stats_.cuts;
+  }
+
+  SpanningEntry entry;
+  entry.rect = portion;
+  entry.tid = tid;
+  entry.linked_child = spanned->child.Encode();
+  node->spanning.push_back(entry);
+  ++stats_.spanning_placed;
+  if (split_after_place) {
+    // Over-full in memory; the caller splits the node, which writes both
+    // halves.
+    return SpanningPlacement::kPlacedOverflow;
+  }
+  SEGIDX_RETURN_IF_ERROR(WriteNode(node_id, *node));
+  return SpanningPlacement::kPlaced;
+}
+
+Status SRTree::ProcessDemotions(InsertContext* ctx) {
+  if (ctx->expanded_nodes.empty()) return Status::OK();
+
+  // Deduplicate; a node can be recorded once per expansion.
+  std::vector<storage::PageId> nodes = std::move(ctx->expanded_nodes);
+  ctx->expanded_nodes.clear();
+  std::sort(nodes.begin(), nodes.end(),
+            [](const storage::PageId& a, const storage::PageId& b) {
+              return a.block < b.block;
+            });
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+
+  for (const storage::PageId& id : nodes) {
+    SEGIDX_ASSIGN_OR_RETURN(Node node, ReadNode(id));
+    if (node.is_leaf() || node.spanning.empty()) continue;
+    bool changed = false;
+    std::vector<SpanningEntry> keep;
+    keep.reserve(node.spanning.size());
+    for (SpanningEntry s : node.spanning) {
+      const int linked =
+          node.FindBranch(storage::PageId::Decode(s.linked_child));
+      if (linked >= 0 &&
+          s.rect.SpansRegion(node.branches[linked].rect)) {
+        keep.push_back(s);
+        continue;
+      }
+      // Try to relink to another branch the record still spans.
+      bool relinked = false;
+      for (const BranchEntry& b : node.branches) {
+        if (s.rect.SpansRegion(b.rect)) {
+          s.linked_child = b.child.Encode();
+          keep.push_back(s);
+          relinked = true;
+          ++stats_.relinks;
+          break;
+        }
+      }
+      if (!relinked) {
+        // Demotion (Section 3.1.1): remove and re-insert.
+        ctx->reinserts.emplace_back(s.rect, s.tid);
+        ++stats_.demotions;
+      }
+      changed = true;
+    }
+    if (changed) {
+      node.spanning = std::move(keep);
+      SEGIDX_RETURN_IF_ERROR(WriteNode(id, node));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace segidx::srtree

@@ -1,0 +1,63 @@
+// SR-Tree: the Segment Index adaptation of the R-Tree
+// (Kolovson & Stonebraker, SIGMOD 1991, Section 3).
+//
+// An SR-Tree is an R-Tree in which an interval/rectangle record is stored on
+// the highest node N such that the record spans the region of at least one
+// of N's children (in either or both dimensions). Such "spanning index
+// records" live on non-leaf nodes, linked to the branch they span:
+//
+//   * insertion descends from the root; the first node with a spanned
+//     branch (and free spanning capacity) consumes the record;
+//   * a record that pokes outside the node's own region is cut into a
+//     spanning portion plus remnant portions; the remnants are re-inserted
+//     (Figure 3);
+//   * region expansion can break span relationships: affected records are
+//     demoted (removed and re-inserted);
+//   * node splits carry spanning records with their linked branch, and
+//     records that span a post-split region are promoted (re-inserted so
+//     they land on the parent) — both implemented in the shared split code;
+//   * searches additionally scan the spanning records of every visited
+//     node (shared search code).
+//
+// Non-leaf capacity: `branch_fraction` (2/3 in the paper's experiments) of
+// the entry slots is reserved for branches, the rest for spanning records.
+// When a node's spanning quota is exhausted the record simply descends and
+// is placed deeper — see DESIGN.md for the relation to the paper's
+// overflow-on-spanning-insert formulation.
+//
+// Deletion is intentionally unsupported (the paper scopes SR-Trees to
+// historical data, which only needs insert + search).
+
+#ifndef SEGIDX_SRTREE_SRTREE_H_
+#define SEGIDX_SRTREE_SRTREE_H_
+
+#include <memory>
+
+#include "rtree/rtree.h"
+
+namespace segidx::srtree {
+
+class SRTree : public rtree::RTree {
+ public:
+  // Creates an empty SR-Tree. `options.enable_spanning` is forced on.
+  static Result<std::unique_ptr<SRTree>> Create(
+      storage::Pager* pager, const rtree::TreeOptions& options);
+
+  // Re-opens a persisted SR-Tree (see RTree::SaveMeta()).
+  static Result<std::unique_ptr<SRTree>> Open(storage::Pager* pager);
+
+ protected:
+  SRTree(storage::Pager* pager, const rtree::TreeOptions& options)
+      : RTree(pager, options) {}
+
+  Result<SpanningPlacement> TryPlaceSpanningRecord(
+      storage::PageId node_id, rtree::Node* node, Rect* node_region,
+      bool is_root, const Rect& rect, TupleId tid,
+      InsertContext* ctx) override;
+
+  Status ProcessDemotions(InsertContext* ctx) override;
+};
+
+}  // namespace segidx::srtree
+
+#endif  // SEGIDX_SRTREE_SRTREE_H_

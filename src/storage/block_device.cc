@@ -1,0 +1,107 @@
+#include "storage/block_device.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace segidx::storage {
+
+namespace {
+
+Status ErrnoToStatus(const char* op, const std::string& detail) {
+  return IoError(std::string(op) + " failed: " + std::strerror(errno) +
+                 (detail.empty() ? "" : " (" + detail + ")"));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<FileBlockDevice>> FileBlockDevice::Open(
+    const std::string& path, bool create) {
+  int flags = O_RDWR;
+  if (create) flags |= O_CREAT;
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) return ErrnoToStatus("open", path);
+  const off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0) {
+    ::close(fd);
+    return ErrnoToStatus("lseek", path);
+  }
+  return std::unique_ptr<FileBlockDevice>(
+      new FileBlockDevice(fd, static_cast<uint64_t>(end)));
+}
+
+FileBlockDevice::~FileBlockDevice() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status FileBlockDevice::Read(uint64_t offset, size_t n, uint8_t* out) const {
+  if (offset + n > size_) {
+    return OutOfRangeError("read past end of device");
+  }
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::pread(fd_, out + done, n - done,
+                              static_cast<off_t>(offset + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoToStatus("pread", "");
+    }
+    if (r == 0) return IoError("short read");
+    done += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status FileBlockDevice::Write(uint64_t offset, const uint8_t* data,
+                              size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t w = ::pwrite(fd_, data + done, n - done,
+                               static_cast<off_t>(offset + done));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoToStatus("pwrite", "");
+    }
+    done += static_cast<size_t>(w);
+  }
+  if (offset + n > size_) size_ = offset + n;
+  return Status::OK();
+}
+
+Status FileBlockDevice::Sync() {
+  if (::fsync(fd_) != 0) return ErrnoToStatus("fsync", "");
+  return Status::OK();
+}
+
+Status FileBlockDevice::Truncate(uint64_t new_size) {
+  if (::ftruncate(fd_, static_cast<off_t>(new_size)) != 0) {
+    return ErrnoToStatus("ftruncate", "");
+  }
+  size_ = new_size;
+  return Status::OK();
+}
+
+Status MemoryBlockDevice::Read(uint64_t offset, size_t n,
+                               uint8_t* out) const {
+  if (offset + n > bytes_.size()) {
+    return OutOfRangeError("read past end of device");
+  }
+  std::memcpy(out, bytes_.data() + offset, n);
+  return Status::OK();
+}
+
+Status MemoryBlockDevice::Write(uint64_t offset, const uint8_t* data,
+                                size_t n) {
+  if (offset + n > bytes_.size()) bytes_.resize(offset + n, 0);
+  std::memcpy(bytes_.data() + offset, data, n);
+  return Status::OK();
+}
+
+Status MemoryBlockDevice::Truncate(uint64_t new_size) {
+  bytes_.resize(new_size, 0);
+  return Status::OK();
+}
+
+}  // namespace segidx::storage

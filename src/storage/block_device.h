@@ -1,0 +1,82 @@
+// Byte-addressable storage backends for the pager.
+//
+// FileBlockDevice is the production backend (POSIX pread/pwrite).
+// MemoryBlockDevice backs unit tests and fast experiment runs; it behaves
+// identically, including explicit size management, so every code path above
+// it is exercised the same way.
+
+#ifndef SEGIDX_STORAGE_BLOCK_DEVICE_H_
+#define SEGIDX_STORAGE_BLOCK_DEVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace segidx::storage {
+
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  // Reads exactly `n` bytes at `offset`. It is an error to read past the
+  // current device size.
+  virtual Status Read(uint64_t offset, size_t n, uint8_t* out) const = 0;
+
+  // Writes exactly `n` bytes at `offset`, growing the device if needed.
+  virtual Status Write(uint64_t offset, const uint8_t* data, size_t n) = 0;
+
+  // Durably flushes previous writes.
+  virtual Status Sync() = 0;
+
+  virtual uint64_t size() const = 0;
+
+  // Grows or shrinks the device to `new_size` bytes (new space is zeroed).
+  virtual Status Truncate(uint64_t new_size) = 0;
+};
+
+// POSIX file backend.
+class FileBlockDevice : public BlockDevice {
+ public:
+  // Opens (or creates, when `create` is true) the file at `path`.
+  static Result<std::unique_ptr<FileBlockDevice>> Open(
+      const std::string& path, bool create);
+
+  ~FileBlockDevice() override;
+
+  FileBlockDevice(const FileBlockDevice&) = delete;
+  FileBlockDevice& operator=(const FileBlockDevice&) = delete;
+
+  Status Read(uint64_t offset, size_t n, uint8_t* out) const override;
+  Status Write(uint64_t offset, const uint8_t* data, size_t n) override;
+  Status Sync() override;
+  uint64_t size() const override { return size_; }
+  Status Truncate(uint64_t new_size) override;
+
+ private:
+  FileBlockDevice(int fd, uint64_t size) : fd_(fd), size_(size) {}
+
+  int fd_;
+  uint64_t size_;
+};
+
+// In-memory backend.
+class MemoryBlockDevice : public BlockDevice {
+ public:
+  MemoryBlockDevice() = default;
+
+  Status Read(uint64_t offset, size_t n, uint8_t* out) const override;
+  Status Write(uint64_t offset, const uint8_t* data, size_t n) override;
+  Status Sync() override { return Status::OK(); }
+  uint64_t size() const override { return bytes_.size(); }
+  Status Truncate(uint64_t new_size) override;
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+}  // namespace segidx::storage
+
+#endif  // SEGIDX_STORAGE_BLOCK_DEVICE_H_

@@ -1,0 +1,86 @@
+// Little-endian fixed-width encoding helpers for on-page serialization.
+//
+// All node pages, the superblock, and free-list links are encoded with these
+// helpers so that index files are byte-identical across platforms (the
+// library assumes IEEE-754 doubles, which C++20 guarantees via
+// std::numeric_limits<double>::is_iec559 on supported targets).
+
+#ifndef SEGIDX_STORAGE_CODING_H_
+#define SEGIDX_STORAGE_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace segidx::storage {
+
+inline void EncodeU16(uint8_t* dst, uint16_t v) {
+  dst[0] = static_cast<uint8_t>(v);
+  dst[1] = static_cast<uint8_t>(v >> 8);
+}
+
+inline uint16_t DecodeU16(const uint8_t* src) {
+  return static_cast<uint16_t>(src[0]) |
+         static_cast<uint16_t>(src[1]) << 8;
+}
+
+inline void EncodeU32(uint8_t* dst, uint32_t v) {
+  dst[0] = static_cast<uint8_t>(v);
+  dst[1] = static_cast<uint8_t>(v >> 8);
+  dst[2] = static_cast<uint8_t>(v >> 16);
+  dst[3] = static_cast<uint8_t>(v >> 24);
+}
+
+inline uint32_t DecodeU32(const uint8_t* src) {
+  return static_cast<uint32_t>(src[0]) | static_cast<uint32_t>(src[1]) << 8 |
+         static_cast<uint32_t>(src[2]) << 16 |
+         static_cast<uint32_t>(src[3]) << 24;
+}
+
+inline void EncodeU64(uint8_t* dst, uint64_t v) {
+  EncodeU32(dst, static_cast<uint32_t>(v));
+  EncodeU32(dst + 4, static_cast<uint32_t>(v >> 32));
+}
+
+inline uint64_t DecodeU64(const uint8_t* src) {
+  return static_cast<uint64_t>(DecodeU32(src)) |
+         static_cast<uint64_t>(DecodeU32(src + 4)) << 32;
+}
+
+inline void EncodeDouble(uint8_t* dst, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  EncodeU64(dst, bits);
+}
+
+inline double DecodeDouble(const uint8_t* src) {
+  const uint64_t bits = DecodeU64(src);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+// Fast 16-bit checksum over a byte range; used as the per-node-page
+// checksum (it fits the node header's reserved field, and 16 bits is ample
+// for the single-page payloads it guards). Implemented as word-at-a-time
+// FNV-1a folded to 16 bits — page reads and writes are hot paths, so a
+// bitwise CRC would dominate them.
+inline uint16_t Checksum16(const uint8_t* data, size_t n) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  constexpr uint64_t kPrime = 0x100000001b3ULL;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    uint64_t word;
+    std::memcpy(&word, data + i, 8);
+    hash = (hash ^ word) * kPrime;
+  }
+  for (; i < n; ++i) {
+    hash = (hash ^ data[i]) * kPrime;
+  }
+  hash ^= hash >> 32;
+  hash ^= hash >> 16;
+  return static_cast<uint16_t>(hash);
+}
+
+}  // namespace segidx::storage
+
+#endif  // SEGIDX_STORAGE_CODING_H_

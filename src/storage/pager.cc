@@ -1,0 +1,326 @@
+#include "storage/pager.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+#include "storage/coding.h"
+
+namespace segidx::storage {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x5345474944583031ULL;  // "SEGIDX01"
+constexpr uint32_t kFormatVersion = 1;
+
+// Superblock layout (within block 0):
+//   0   magic             u64
+//   8   version           u32
+//   12  base_block_size   u32
+//   16  max_size_class    u8
+//   17  pad               7 bytes
+//   24  next_block        u32
+//   28  free list heads   (max_size_class + 1) * u32
+//   ..  user_meta_len     u16
+//   ..  user_meta         kUserMetaCapacity bytes
+constexpr size_t kSuperFixed = 28;
+
+}  // namespace
+
+PageHandle::~PageHandle() { Release(); }
+
+PageHandle::PageHandle(PageHandle&& other) noexcept
+    : pager_(other.pager_),
+      id_(other.id_),
+      data_(other.data_),
+      size_(other.size_) {
+  other.pager_ = nullptr;
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pager_ = other.pager_;
+    id_ = other.id_;
+    data_ = other.data_;
+    size_ = other.size_;
+    other.pager_ = nullptr;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void PageHandle::MarkDirty() {
+  SEGIDX_DCHECK(valid());
+  auto it = pager_->frames_.find(id_.block);
+  SEGIDX_DCHECK(it != pager_->frames_.end());
+  it->second.dirty = true;
+}
+
+void PageHandle::Release() {
+  if (pager_ != nullptr) {
+    pager_->Unpin(id_.block);
+    pager_ = nullptr;
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+Result<std::unique_ptr<Pager>> Pager::Create(
+    std::unique_ptr<BlockDevice> device, const PagerOptions& options) {
+  if (options.base_block_size < 256) {
+    return InvalidArgumentError("base_block_size must be >= 256");
+  }
+  const size_t super_need = kSuperFixed +
+                            (options.max_size_class + 1) * 4 + 2 +
+                            kUserMetaCapacity;
+  if (super_need > options.base_block_size) {
+    return InvalidArgumentError("superblock does not fit in one block");
+  }
+  std::unique_ptr<Pager> pager(new Pager(std::move(device), options));
+  pager->free_heads_.assign(options.max_size_class + 1, kInvalidBlock);
+  SEGIDX_RETURN_IF_ERROR(pager->WriteSuperblock());
+  return pager;
+}
+
+Result<std::unique_ptr<Pager>> Pager::Open(
+    std::unique_ptr<BlockDevice> device, const PagerOptions& options) {
+  std::unique_ptr<Pager> pager(new Pager(std::move(device), options));
+  SEGIDX_RETURN_IF_ERROR(pager->ReadSuperblock());
+  return pager;
+}
+
+Pager::~Pager() {
+  // Best-effort write-back so that dropping a pager without Checkpoint()
+  // does not silently lose pages (tests rely on explicit Checkpoint for
+  // durability of the superblock).
+  (void)Flush();
+}
+
+Status Pager::WriteSuperblock() {
+  std::vector<uint8_t> buf(options_.base_block_size, 0);
+  EncodeU64(buf.data(), kMagic);
+  EncodeU32(buf.data() + 8, kFormatVersion);
+  EncodeU32(buf.data() + 12, options_.base_block_size);
+  buf[16] = options_.max_size_class;
+  EncodeU32(buf.data() + 24, next_block_);
+  size_t off = kSuperFixed;
+  for (uint32_t head : free_heads_) {
+    EncodeU32(buf.data() + off, head);
+    off += 4;
+  }
+  SEGIDX_CHECK_LE(user_meta_.size(), kUserMetaCapacity);
+  EncodeU16(buf.data() + off, static_cast<uint16_t>(user_meta_.size()));
+  off += 2;
+  std::memcpy(buf.data() + off, user_meta_.data(), user_meta_.size());
+  return device_->Write(0, buf.data(), buf.size());
+}
+
+Status Pager::ReadSuperblock() {
+  if (device_->size() < options_.base_block_size) {
+    return CorruptionError("device too small for superblock");
+  }
+  std::vector<uint8_t> buf(options_.base_block_size);
+  SEGIDX_RETURN_IF_ERROR(device_->Read(0, buf.size(), buf.data()));
+  if (DecodeU64(buf.data()) != kMagic) {
+    return CorruptionError("bad magic; not a segment-index file");
+  }
+  if (DecodeU32(buf.data() + 8) != kFormatVersion) {
+    return CorruptionError("unsupported format version");
+  }
+  if (DecodeU32(buf.data() + 12) != options_.base_block_size) {
+    return InvalidArgumentError(
+        "base_block_size mismatch between file and options");
+  }
+  options_.max_size_class = buf[16];
+  next_block_ = DecodeU32(buf.data() + 24);
+  size_t off = kSuperFixed;
+  free_heads_.assign(options_.max_size_class + 1, kInvalidBlock);
+  for (uint32_t& head : free_heads_) {
+    head = DecodeU32(buf.data() + off);
+    off += 4;
+  }
+  const uint16_t meta_len = DecodeU16(buf.data() + off);
+  off += 2;
+  if (meta_len > kUserMetaCapacity) {
+    return CorruptionError("user metadata length out of range");
+  }
+  user_meta_.assign(buf.data() + off, buf.data() + off + meta_len);
+  return Status::OK();
+}
+
+Result<PageHandle> Pager::Allocate(uint8_t size_class) {
+  if (size_class > options_.max_size_class) {
+    return InvalidArgumentError("size class exceeds maximum");
+  }
+  uint32_t block;
+  if (free_heads_[size_class] != kInvalidBlock) {
+    // Pop the free list: the first 4 bytes of a free extent hold the next
+    // free extent's first block.
+    block = free_heads_[size_class];
+    uint8_t link[4];
+    SEGIDX_RETURN_IF_ERROR(device_->Read(BlockOffset(block), 4, link));
+    free_heads_[size_class] = DecodeU32(link);
+  } else {
+    block = next_block_;
+    next_block_ += 1u << size_class;
+  }
+  ++stats_.pages_allocated;
+
+  SEGIDX_RETURN_IF_ERROR(EnforceCapacity());
+  Frame& frame = frames_[block];
+  SEGIDX_CHECK_EQ(frame.pin_count, 0);
+  frame.bytes.assign(ExtentBytes(size_class), 0);
+  frame.size_class = size_class;
+  frame.dirty = true;
+  frame.pin_count = 1;
+  frame.in_lru = false;
+  cached_bytes_ += frame.bytes.size();
+  return MakeHandle(block, &frame);
+}
+
+Result<PageHandle> Pager::Fetch(PageId id) {
+  if (!id.valid() || id.size_class > options_.max_size_class) {
+    return InvalidArgumentError("invalid page id");
+  }
+  ++stats_.logical_reads;
+  auto it = frames_.find(id.block);
+  if (it != frames_.end()) {
+    ++stats_.cache_hits;
+    Frame& frame = it->second;
+    SEGIDX_CHECK_EQ(frame.size_class, id.size_class);
+    if (frame.in_lru) {
+      lru_.erase(frame.lru_pos);
+      frame.in_lru = false;
+    }
+    ++frame.pin_count;
+    return MakeHandle(id.block, &frame);
+  }
+
+  ++stats_.physical_reads;
+  const size_t n = ExtentBytes(id.size_class);
+  std::vector<uint8_t> bytes(n);
+  SEGIDX_RETURN_IF_ERROR(
+      device_->Read(BlockOffset(id.block), n, bytes.data()));
+
+  SEGIDX_RETURN_IF_ERROR(EnforceCapacity());
+  Frame& frame = frames_[id.block];
+  frame.bytes = std::move(bytes);
+  frame.size_class = id.size_class;
+  frame.dirty = false;
+  frame.pin_count = 1;
+  frame.in_lru = false;
+  cached_bytes_ += frame.bytes.size();
+  return MakeHandle(id.block, &frame);
+}
+
+Status Pager::Free(PageId id) {
+  if (!id.valid() || id.size_class > options_.max_size_class) {
+    return InvalidArgumentError("invalid page id");
+  }
+  auto it = frames_.find(id.block);
+  if (it != frames_.end()) {
+    Frame& frame = it->second;
+    if (frame.pin_count != 0) {
+      return FailedPreconditionError("cannot free a pinned page");
+    }
+    if (frame.in_lru) lru_.erase(frame.lru_pos);
+    cached_bytes_ -= frame.bytes.size();
+    frames_.erase(it);
+  }
+  // Thread onto the free list.
+  uint8_t link[4];
+  EncodeU32(link, free_heads_[id.size_class]);
+  SEGIDX_RETURN_IF_ERROR(device_->Write(BlockOffset(id.block), link, 4));
+  free_heads_[id.size_class] = id.block;
+  ++stats_.pages_freed;
+  return Status::OK();
+}
+
+Status Pager::Flush() {
+  for (auto& [block, frame] : frames_) {
+    if (frame.dirty) {
+      SEGIDX_RETURN_IF_ERROR(device_->Write(BlockOffset(block),
+                                            frame.bytes.data(),
+                                            frame.bytes.size()));
+      ++stats_.physical_writes;
+      frame.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+Status Pager::Checkpoint() {
+  SEGIDX_RETURN_IF_ERROR(Flush());
+  SEGIDX_RETURN_IF_ERROR(WriteSuperblock());
+  return device_->Sync();
+}
+
+Status Pager::SetUserMeta(const uint8_t* data, size_t n) {
+  if (n > kUserMetaCapacity) {
+    return InvalidArgumentError("user metadata too large");
+  }
+  user_meta_.assign(data, data + n);
+  return Status::OK();
+}
+
+size_t Pager::pinned_frames() const {
+  size_t n = 0;
+  for (const auto& [block, frame] : frames_) {
+    if (frame.pin_count > 0) ++n;
+  }
+  return n;
+}
+
+Status Pager::EnforceCapacity() {
+  while (cached_bytes_ > options_.buffer_pool_bytes && !lru_.empty()) {
+    const uint32_t victim = lru_.back();
+    SEGIDX_RETURN_IF_ERROR(EvictFrame(victim));
+  }
+  return Status::OK();
+}
+
+Status Pager::EvictFrame(uint32_t block) {
+  auto it = frames_.find(block);
+  SEGIDX_CHECK(it != frames_.end());
+  Frame& frame = it->second;
+  SEGIDX_CHECK_EQ(frame.pin_count, 0);
+  if (frame.dirty) {
+    SEGIDX_RETURN_IF_ERROR(device_->Write(BlockOffset(block),
+                                          frame.bytes.data(),
+                                          frame.bytes.size()));
+    ++stats_.physical_writes;
+  }
+  if (frame.in_lru) lru_.erase(frame.lru_pos);
+  cached_bytes_ -= frame.bytes.size();
+  frames_.erase(it);
+  ++stats_.evictions;
+  return Status::OK();
+}
+
+void Pager::Unpin(uint32_t block) {
+  auto it = frames_.find(block);
+  SEGIDX_CHECK(it != frames_.end());
+  Frame& frame = it->second;
+  SEGIDX_CHECK_GT(frame.pin_count, 0);
+  if (--frame.pin_count == 0) {
+    lru_.push_front(block);
+    frame.lru_pos = lru_.begin();
+    frame.in_lru = true;
+    // Opportunistically shrink back to capacity now that a frame became
+    // evictable.
+    (void)EnforceCapacity();
+  }
+}
+
+PageHandle Pager::MakeHandle(uint32_t block, Frame* frame) {
+  PageId id;
+  id.block = block;
+  id.size_class = frame->size_class;
+  return PageHandle(this, id, frame->bytes.data(), frame->bytes.size());
+}
+
+}  // namespace segidx::storage

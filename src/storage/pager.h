@@ -1,0 +1,209 @@
+// Paged storage manager: extent allocation plus a pinning buffer pool.
+//
+// The paper's indexes use *variable node sizes*: leaf nodes are one base
+// block (1 KB in the experiments) and the node size doubles at each level
+// above the leaves (Section 2.1.2 / Section 5). The pager therefore manages
+// extents — contiguous runs of 2^size_class base blocks — rather than fixed
+// pages. Freed extents go on a per-size-class free list threaded through the
+// first bytes of each free extent and anchored in the superblock, so index
+// files can be closed and reopened.
+//
+// Concurrency: single-threaded by design, like the original experiments.
+
+#ifndef SEGIDX_STORAGE_PAGER_H_
+#define SEGIDX_STORAGE_PAGER_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/block_device.h"
+
+namespace segidx::storage {
+
+inline constexpr uint32_t kInvalidBlock = 0xffffffffu;
+
+// Address of an extent: its first base block and its size class
+// (the extent spans 1 << size_class base blocks).
+struct PageId {
+  uint32_t block = kInvalidBlock;
+  uint8_t size_class = 0;
+
+  bool valid() const { return block != kInvalidBlock; }
+
+  // Packs into 8 bytes for on-page child pointers.
+  uint64_t Encode() const {
+    return static_cast<uint64_t>(block) |
+           static_cast<uint64_t>(size_class) << 32;
+  }
+  static PageId Decode(uint64_t v) {
+    PageId id;
+    id.block = static_cast<uint32_t>(v);
+    id.size_class = static_cast<uint8_t>(v >> 32);
+    return id;
+  }
+
+  friend bool operator==(const PageId& a, const PageId& b) {
+    return a.block == b.block && a.size_class == b.size_class;
+  }
+};
+
+struct StorageStats {
+  uint64_t logical_reads = 0;    // Fetch() calls (= node accesses).
+  uint64_t cache_hits = 0;
+  uint64_t physical_reads = 0;   // device reads caused by cache misses.
+  uint64_t physical_writes = 0;  // device writes (eviction + flush).
+  uint64_t evictions = 0;
+  uint64_t pages_allocated = 0;
+  uint64_t pages_freed = 0;
+};
+
+struct PagerOptions {
+  uint32_t base_block_size = 1024;
+  // Largest supported extent: 1 << max_size_class base blocks.
+  uint8_t max_size_class = 7;
+  // Buffer pool capacity. The pool may transiently exceed this when every
+  // frame is pinned.
+  size_t buffer_pool_bytes = 8u << 20;
+};
+
+class Pager;
+
+// RAII pin on a cached extent. While alive, data() is stable and the frame
+// cannot be evicted. Call MarkDirty() after mutating the bytes.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  ~PageHandle();
+
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+  PageHandle(PageHandle&& other) noexcept;
+  PageHandle& operator=(PageHandle&& other) noexcept;
+
+  bool valid() const { return pager_ != nullptr; }
+  PageId id() const { return id_; }
+  uint8_t* data() { return data_; }
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  void MarkDirty();
+
+  // Drops the pin early (idempotent).
+  void Release();
+
+ private:
+  friend class Pager;
+  PageHandle(Pager* pager, PageId id, uint8_t* data, size_t size)
+      : pager_(pager), id_(id), data_(data), size_(size) {}
+
+  Pager* pager_ = nullptr;
+  PageId id_;
+  uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+// See file comment.
+class Pager {
+ public:
+  // Maximum bytes of tree-private metadata stored in the superblock.
+  static constexpr size_t kUserMetaCapacity = 512;
+
+  // Formats a fresh device (writes the superblock).
+  static Result<std::unique_ptr<Pager>> Create(
+      std::unique_ptr<BlockDevice> device, const PagerOptions& options);
+
+  // Opens an existing formatted device; validates the superblock against
+  // `options.base_block_size`.
+  static Result<std::unique_ptr<Pager>> Open(
+      std::unique_ptr<BlockDevice> device, const PagerOptions& options);
+
+  ~Pager();
+
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  // Allocates a zeroed extent of the given size class; returns it pinned
+  // and marked dirty.
+  Result<PageHandle> Allocate(uint8_t size_class);
+
+  // Fetches an extent, reading it from the device on a cache miss.
+  Result<PageHandle> Fetch(PageId id);
+
+  // Returns an extent to the free list. The extent must be unpinned.
+  Status Free(PageId id);
+
+  // Writes back every dirty frame (cache stays populated).
+  Status Flush();
+
+  // Flush + superblock write + device sync. The pager remains usable.
+  Status Checkpoint();
+
+  // Tree-private metadata persisted in the superblock at Checkpoint().
+  const std::vector<uint8_t>& user_meta() const { return user_meta_; }
+  Status SetUserMeta(const uint8_t* data, size_t n);
+
+  uint32_t base_block_size() const { return options_.base_block_size; }
+  uint8_t max_size_class() const { return options_.max_size_class; }
+  size_t ExtentBytes(uint8_t size_class) const {
+    return static_cast<size_t>(options_.base_block_size) << size_class;
+  }
+  // Total base blocks ever allocated (file high-water mark), for size
+  // accounting in experiments.
+  uint64_t allocated_blocks() const { return next_block_; }
+
+  const StorageStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = StorageStats(); }
+
+  // Number of currently pinned frames (for tests / leak detection).
+  size_t pinned_frames() const;
+  size_t cached_frames() const { return frames_.size(); }
+
+ private:
+  struct Frame {
+    std::vector<uint8_t> bytes;
+    uint8_t size_class = 0;
+    int pin_count = 0;
+    bool dirty = false;
+    // Position in lru_ when pin_count == 0.
+    std::list<uint32_t>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  friend class PageHandle;
+
+  Pager(std::unique_ptr<BlockDevice> device, const PagerOptions& options)
+      : device_(std::move(device)), options_(options) {}
+
+  Status WriteSuperblock();
+  Status ReadSuperblock();
+
+  uint64_t BlockOffset(uint32_t block) const {
+    return static_cast<uint64_t>(block) * options_.base_block_size;
+  }
+
+  // Evicts unpinned LRU frames until the pool is within capacity.
+  Status EnforceCapacity();
+  Status EvictFrame(uint32_t block);
+  void Unpin(uint32_t block);
+  PageHandle MakeHandle(uint32_t block, Frame* frame);
+
+  std::unique_ptr<BlockDevice> device_;
+  PagerOptions options_;
+  StorageStats stats_;
+
+  std::unordered_map<uint32_t, Frame> frames_;
+  std::list<uint32_t> lru_;  // Front = most recent.
+  size_t cached_bytes_ = 0;
+
+  // Allocation state (persisted in the superblock).
+  uint32_t next_block_ = 1;  // Block 0 is the superblock.
+  std::vector<uint32_t> free_heads_;
+  std::vector<uint8_t> user_meta_;
+};
+
+}  // namespace segidx::storage
+
+#endif  // SEGIDX_STORAGE_PAGER_H_

@@ -1,0 +1,180 @@
+#include "workload/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace segidx::workload {
+
+namespace {
+
+constexpr Coord kDomainWidth = kDomainHi - kDomainLo;
+
+// One generated value per dimension-and-role.
+struct Generators {
+  bool x_is_interval = true;
+  bool y_is_interval = false;
+  bool centers_exponential = false;
+  bool lengths_exponential = false;
+  bool y_exponential = false;
+};
+
+Generators ConfigFor(DatasetKind kind) {
+  Generators g;
+  switch (kind) {
+    case DatasetKind::kI1:
+      break;
+    case DatasetKind::kI2:
+      g.y_exponential = true;
+      break;
+    case DatasetKind::kI3:
+      g.lengths_exponential = true;
+      break;
+    case DatasetKind::kI4:
+      g.y_exponential = true;
+      g.lengths_exponential = true;
+      break;
+    case DatasetKind::kR1:
+      g.y_is_interval = true;
+      break;
+    case DatasetKind::kR2:
+      g.y_is_interval = true;
+      g.lengths_exponential = true;
+      break;
+    case DatasetKind::kRC1:
+      g.y_is_interval = true;
+      g.centers_exponential = true;
+      break;
+    case DatasetKind::kRC2:
+      g.y_is_interval = true;
+      g.centers_exponential = true;
+      g.lengths_exponential = true;
+      break;
+    case DatasetKind::kM1:
+      break;  // Handled directly in GenerateDataset.
+  }
+  return g;
+}
+
+Coord DrawCenter(Rng& rng, bool exponential) {
+  if (exponential) {
+    return kDomainLo + rng.Exponential(kBetaY, kDomainWidth);
+  }
+  return rng.Uniform(kDomainLo, kDomainHi);
+}
+
+Coord DrawLength(Rng& rng, bool exponential) {
+  if (exponential) return rng.Exponential(kBetaLength, kDomainWidth);
+  return rng.Uniform(0, kUniformLengthMax);
+}
+
+Interval IntervalAround(Coord center, Coord length) {
+  return Interval(center - length / 2, center + length / 2);
+}
+
+}  // namespace
+
+const char* DatasetKindName(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kI1:
+      return "I1";
+    case DatasetKind::kI2:
+      return "I2";
+    case DatasetKind::kI3:
+      return "I3";
+    case DatasetKind::kI4:
+      return "I4";
+    case DatasetKind::kR1:
+      return "R1";
+    case DatasetKind::kR2:
+      return "R2";
+    case DatasetKind::kRC1:
+      return "RC1";
+    case DatasetKind::kRC2:
+      return "RC2";
+    case DatasetKind::kM1:
+      return "M1";
+  }
+  return "?";
+}
+
+Result<DatasetKind> ParseDatasetKind(const std::string& name) {
+  std::string upper = name;
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  if (upper == "I1") return DatasetKind::kI1;
+  if (upper == "I2") return DatasetKind::kI2;
+  if (upper == "I3") return DatasetKind::kI3;
+  if (upper == "I4") return DatasetKind::kI4;
+  if (upper == "R1") return DatasetKind::kR1;
+  if (upper == "R2") return DatasetKind::kR2;
+  if (upper == "RC1") return DatasetKind::kRC1;
+  if (upper == "RC2") return DatasetKind::kRC2;
+  if (upper == "M1") return DatasetKind::kM1;
+  return InvalidArgumentError("unknown dataset kind: " + name);
+}
+
+std::vector<Rect> GenerateDataset(const DatasetSpec& spec) {
+  const Generators g = ConfigFor(spec.kind);
+  Rng rng(spec.seed * 0x9e3779b97f4a7c15ULL + 1);
+  std::vector<Rect> out;
+  out.reserve(spec.count);
+  if (spec.kind == DatasetKind::kM1) {
+    // 30% events (points in time), 60% short ranges, 10% long ranges.
+    for (uint64_t i = 0; i < spec.count; ++i) {
+      const Coord y = rng.Uniform(kDomainLo, kDomainHi);
+      const double roll = rng.NextDouble();
+      if (roll < 0.3) {
+        out.push_back(Rect::Point(rng.Uniform(kDomainLo, kDomainHi), y));
+      } else {
+        const double beta = roll < 0.9 ? 500 : 20000;
+        const Coord c = rng.Uniform(kDomainLo, kDomainHi);
+        out.push_back(
+            Rect(IntervalAround(c, rng.Exponential(beta, kDomainWidth)),
+                 Interval::Point(y)));
+      }
+    }
+    return out;
+  }
+  for (uint64_t i = 0; i < spec.count; ++i) {
+    const Coord cx = DrawCenter(rng, g.centers_exponential);
+    const Interval x = IntervalAround(cx, DrawLength(rng, g.lengths_exponential));
+    Interval y;
+    if (g.y_is_interval) {
+      const Coord cy = DrawCenter(rng, g.centers_exponential);
+      y = IntervalAround(cy, DrawLength(rng, g.lengths_exponential));
+    } else {
+      y = Interval::Point(DrawCenter(rng, g.y_exponential));
+    }
+    out.push_back(Rect(x, y));
+  }
+  return out;
+}
+
+const std::vector<double>& PaperQarSweep() {
+  static const std::vector<double>& sweep = *new std::vector<double>{
+      0.0001, 0.001, 0.01, 0.1, 0.2, 0.5, 1, 2, 5, 10, 100, 1000, 10000};
+  return sweep;
+}
+
+std::vector<Rect> GenerateQueries(double qar, double area, int count,
+                                  uint64_t seed) {
+  SEGIDX_CHECK_GT(qar, 0);
+  SEGIDX_CHECK_GT(area, 0);
+  const Coord width = std::sqrt(area * qar);
+  const Coord height = std::sqrt(area / qar);
+  Rng rng(seed * 0xd1342543de82ef95ULL + 7);
+  std::vector<Rect> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const Coord cx = rng.Uniform(kDomainLo, kDomainHi);
+    const Coord cy = rng.Uniform(kDomainLo, kDomainHi);
+    out.push_back(Rect(Interval(cx - width / 2, cx + width / 2),
+                       Interval(cy - height / 2, cy + height / 2)));
+  }
+  return out;
+}
+
+}  // namespace segidx::workload

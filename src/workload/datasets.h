@@ -1,0 +1,79 @@
+// Synthetic workloads from the paper's evaluation (Section 5).
+//
+// All datasets live in the domain [0, 100000] in both dimensions. Interval
+// datasets (I1-I4) are horizontal line segments: X is an interval, Y a
+// point — the shape of historical data (paper Figure 1). Rectangle datasets
+// (R1, R2) are intervals in both dimensions. RC1/RC2 are the
+// exponential-centroid rectangle variants the paper ran but omitted for
+// brevity (Section 5.1, last paragraph).
+//
+//   I1: Y uniform;                X centers uniform, lengths U[0, 100]
+//   I2: Y exponential (β=7000);   X as I1
+//   I3: Y uniform;                X centers uniform, lengths Exp(β=2000)
+//   I4: Y exponential (β=7000);   X as I3
+//   R1: centroids uniform;        both lengths U[0, 100]
+//   R2: centroids uniform;        both lengths Exp(β=2000)
+//   RC1: centroids exponential;   both lengths U[0, 100]
+//   RC2: centroids exponential;   both lengths Exp(β=2000)
+//   M1:  mixed event/time-range records (Section 2.2 motivation; ours)
+//
+// Exponential draws are resampled into the domain so values stay bounded.
+
+#ifndef SEGIDX_WORKLOAD_DATASETS_H_
+#define SEGIDX_WORKLOAD_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/status.h"
+
+namespace segidx::workload {
+
+inline constexpr Coord kDomainLo = 0;
+inline constexpr Coord kDomainHi = 100000;
+inline constexpr double kBetaY = 7000;       // I2/I4 Y-value distribution.
+inline constexpr double kBetaLength = 2000;  // Exponential interval lengths.
+inline constexpr double kUniformLengthMax = 100;
+
+enum class DatasetKind {
+  kI1,
+  kI2,
+  kI3,
+  kI4,
+  kR1,
+  kR2,
+  kRC1,
+  kRC2,
+  // M1 (ours, from the paper's Section 2.2 motivation): historical data
+  // mixing *event* records (points in time) with *time-range* records of
+  // skewed length — 30% events, 60% short ranges (Exp β=500), 10% long
+  // ranges (Exp β=20000); Y values uniform.
+  kM1,
+};
+
+const char* DatasetKindName(DatasetKind kind);
+// Parses "I1".."I4", "R1", "R2", "RC1", "RC2", "M1" (case-insensitive).
+Result<DatasetKind> ParseDatasetKind(const std::string& name);
+
+struct DatasetSpec {
+  DatasetKind kind = DatasetKind::kI1;
+  uint64_t count = 100000;
+  uint64_t seed = 1;
+};
+
+// Generates the dataset; rects[i] belongs to tuple id i.
+std::vector<Rect> GenerateDataset(const DatasetSpec& spec);
+
+// The paper's query-aspect-ratio sweep: QAR in {1e-4 .. 1e4}, 13 values.
+const std::vector<double>& PaperQarSweep();
+
+// Generates `count` query rectangles of the given area and aspect ratio
+// (width/height), centroids uniform over the domain.
+std::vector<Rect> GenerateQueries(double qar, double area, int count,
+                                  uint64_t seed);
+
+}  // namespace segidx::workload
+
+#endif  // SEGIDX_WORKLOAD_DATASETS_H_

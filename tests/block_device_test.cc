@@ -1,0 +1,126 @@
+#include "storage/block_device.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace segidx::storage {
+namespace {
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+class BlockDeviceTest : public testing::TestWithParam<bool> {
+ protected:
+  // Parameter selects the backend: true = file, false = memory.
+  std::unique_ptr<BlockDevice> MakeDevice(const char* name) {
+    if (!GetParam()) return std::make_unique<MemoryBlockDevice>();
+    path_ = TempPath(name);
+    std::remove(path_.c_str());
+    auto result = FileBlockDevice::Open(path_, /*create=*/true);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  }
+
+  std::string path_;
+};
+
+TEST_P(BlockDeviceTest, WriteThenRead) {
+  auto device = MakeDevice("dev_write_read");
+  const std::vector<uint8_t> payload = {1, 2, 3, 4, 5};
+  ASSERT_TRUE(device->Write(100, payload.data(), payload.size()).ok());
+  EXPECT_EQ(device->size(), 105u);
+
+  std::vector<uint8_t> out(5);
+  ASSERT_TRUE(device->Read(100, 5, out.data()).ok());
+  EXPECT_EQ(out, payload);
+}
+
+TEST_P(BlockDeviceTest, ReadPastEndFails) {
+  auto device = MakeDevice("dev_read_past_end");
+  uint8_t byte = 0;
+  ASSERT_TRUE(device->Write(0, &byte, 1).ok());
+  uint8_t out[4];
+  const Status st = device->Read(0, 4, out);
+  EXPECT_EQ(st.code(), StatusCode::kOutOfRange);
+}
+
+TEST_P(BlockDeviceTest, OverwriteInPlace) {
+  auto device = MakeDevice("dev_overwrite");
+  std::vector<uint8_t> a(16, 0xaa);
+  std::vector<uint8_t> b(4, 0xbb);
+  ASSERT_TRUE(device->Write(0, a.data(), a.size()).ok());
+  ASSERT_TRUE(device->Write(4, b.data(), b.size()).ok());
+  std::vector<uint8_t> out(16);
+  ASSERT_TRUE(device->Read(0, 16, out.data()).ok());
+  EXPECT_EQ(out[3], 0xaa);
+  EXPECT_EQ(out[4], 0xbb);
+  EXPECT_EQ(out[7], 0xbb);
+  EXPECT_EQ(out[8], 0xaa);
+  EXPECT_EQ(device->size(), 16u);
+}
+
+TEST_P(BlockDeviceTest, TruncateGrowsWithZeros) {
+  auto device = MakeDevice("dev_truncate_grow");
+  uint8_t byte = 0xff;
+  ASSERT_TRUE(device->Write(0, &byte, 1).ok());
+  ASSERT_TRUE(device->Truncate(8).ok());
+  EXPECT_EQ(device->size(), 8u);
+  std::vector<uint8_t> out(8);
+  ASSERT_TRUE(device->Read(0, 8, out.data()).ok());
+  EXPECT_EQ(out[0], 0xff);
+  for (int i = 1; i < 8; ++i) EXPECT_EQ(out[i], 0) << i;
+}
+
+TEST_P(BlockDeviceTest, TruncateShrinks) {
+  auto device = MakeDevice("dev_truncate_shrink");
+  std::vector<uint8_t> data(32, 1);
+  ASSERT_TRUE(device->Write(0, data.data(), data.size()).ok());
+  ASSERT_TRUE(device->Truncate(8).ok());
+  EXPECT_EQ(device->size(), 8u);
+  uint8_t out;
+  EXPECT_EQ(device->Read(16, 1, &out).code(), StatusCode::kOutOfRange);
+}
+
+TEST_P(BlockDeviceTest, SyncSucceeds) {
+  auto device = MakeDevice("dev_sync");
+  uint8_t byte = 1;
+  ASSERT_TRUE(device->Write(0, &byte, 1).ok());
+  EXPECT_TRUE(device->Sync().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, BlockDeviceTest, testing::Values(true, false),
+                         [](const testing::TestParamInfo<bool>& info) {
+                           return info.param ? "File" : "Memory";
+                         });
+
+TEST(FileBlockDeviceTest, PersistsAcrossReopen) {
+  const std::string path = TempPath("dev_persist");
+  std::remove(path.c_str());
+  {
+    auto device = FileBlockDevice::Open(path, /*create=*/true).value();
+    const std::vector<uint8_t> payload = {9, 8, 7};
+    ASSERT_TRUE(device->Write(10, payload.data(), payload.size()).ok());
+    ASSERT_TRUE(device->Sync().ok());
+  }
+  {
+    auto device = FileBlockDevice::Open(path, /*create=*/false).value();
+    EXPECT_EQ(device->size(), 13u);
+    std::vector<uint8_t> out(3);
+    ASSERT_TRUE(device->Read(10, 3, out.data()).ok());
+    EXPECT_EQ(out, (std::vector<uint8_t>{9, 8, 7}));
+  }
+}
+
+TEST(FileBlockDeviceTest, OpenMissingFileFails) {
+  const auto result =
+      FileBlockDevice::Open(TempPath("no_such_file_xyz"), /*create=*/false);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace segidx::storage

@@ -1,0 +1,88 @@
+#include "storage/coding.h"
+
+#include <cstdint>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace segidx::storage {
+namespace {
+
+TEST(CodingTest, U16RoundTrip) {
+  uint8_t buf[2];
+  for (uint32_t v : {0u, 1u, 255u, 256u, 65535u}) {
+    EncodeU16(buf, static_cast<uint16_t>(v));
+    EXPECT_EQ(DecodeU16(buf), v);
+  }
+}
+
+TEST(CodingTest, U32RoundTrip) {
+  uint8_t buf[4];
+  for (uint32_t v : {0u, 1u, 0xffu, 0xff00ff00u, 0xffffffffu}) {
+    EncodeU32(buf, v);
+    EXPECT_EQ(DecodeU32(buf), v);
+  }
+}
+
+TEST(CodingTest, U64RoundTrip) {
+  uint8_t buf[8];
+  for (uint64_t v :
+       {0ULL, 1ULL, 0xdeadbeefULL, 0x0123456789abcdefULL, ~0ULL}) {
+    EncodeU64(buf, v);
+    EXPECT_EQ(DecodeU64(buf), v);
+  }
+}
+
+TEST(CodingTest, EncodingIsLittleEndian) {
+  uint8_t buf[4];
+  EncodeU32(buf, 0x01020304u);
+  EXPECT_EQ(buf[0], 0x04);
+  EXPECT_EQ(buf[1], 0x03);
+  EXPECT_EQ(buf[2], 0x02);
+  EXPECT_EQ(buf[3], 0x01);
+}
+
+TEST(CodingTest, DoubleRoundTrip) {
+  uint8_t buf[8];
+  for (double v : {0.0, -0.0, 1.5, -123456.789, 1e300,
+                   std::numeric_limits<double>::infinity(),
+                   std::numeric_limits<double>::denorm_min()}) {
+    EncodeDouble(buf, v);
+    EXPECT_EQ(DecodeDouble(buf), v);
+  }
+}
+
+TEST(ChecksumTest, DeterministicAndSensitive) {
+  std::vector<uint8_t> data(1000);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 31);
+  }
+  const uint16_t base = Checksum16(data.data(), data.size());
+  EXPECT_EQ(Checksum16(data.data(), data.size()), base);
+  // Any single-byte change anywhere must flip the checksum.
+  for (size_t pos : {0u, 7u, 8u, 499u, 993u, 999u}) {
+    std::vector<uint8_t> copy = data;
+    copy[pos] ^= 0x01;
+    EXPECT_NE(Checksum16(copy.data(), copy.size()), base) << pos;
+  }
+  // Length matters.
+  EXPECT_NE(Checksum16(data.data(), data.size() - 1), base);
+}
+
+TEST(ChecksumTest, EmptyAndShortInputs) {
+  const uint8_t byte = 0x42;
+  EXPECT_EQ(Checksum16(&byte, 0), Checksum16(&byte, 0));
+  const uint16_t one = Checksum16(&byte, 1);
+  const uint8_t other = 0x43;
+  EXPECT_NE(Checksum16(&other, 1), one);
+}
+
+TEST(CodingTest, NanRoundTripsBitExact) {
+  uint8_t buf[8];
+  EncodeDouble(buf, std::numeric_limits<double>::quiet_NaN());
+  const double back = DecodeDouble(buf);
+  EXPECT_NE(back, back);  // Still NaN.
+}
+
+}  // namespace
+}  // namespace segidx::storage

@@ -1,0 +1,125 @@
+#include "bench_support/experiment.h"
+
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace segidx::bench_support {
+namespace {
+
+ExperimentConfig TinyConfig(workload::DatasetKind kind) {
+  BenchArgs args;
+  args.tuples = 3000;
+  args.queries = 20;
+  args.check_invariants = true;
+  ExperimentConfig config = MakePaperConfig(kind, args);
+  config.qars = {0.001, 1.0, 1000.0};
+  return config;
+}
+
+TEST(ExperimentTest, RunsAllFourIndexes) {
+  BenchArgs args;
+  args.tuples = 30000;  // Grid cells narrower than the mean I3 length.
+  args.queries = 20;
+  args.check_invariants = true;
+  ExperimentConfig config = MakePaperConfig(workload::DatasetKind::kI3, args);
+  config.qars = {0.001, 1.0, 1000.0};
+  auto results = RunExperiment(config, nullptr);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->size(), 4u);
+  for (const SeriesResult& series : *results) {
+    ASSERT_EQ(series.avg_nodes.size(), config.qars.size());
+    for (double avg : series.avg_nodes) {
+      EXPECT_GT(avg, 0);
+    }
+    EXPECT_GT(series.build.index_bytes, 0u);
+    EXPECT_GE(series.build.height, 2);
+  }
+  // The Skeleton SR-Tree placed spanning records on I3 (its grid cells are
+  // narrower than the mean interval length at this scale).
+  EXPECT_GT((*results)[3].build.spanning_placed, 0u);
+  // Non-segment variants never place any.
+  EXPECT_EQ((*results)[0].build.spanning_placed, 0u);
+  EXPECT_EQ((*results)[2].build.spanning_placed, 0u);
+}
+
+TEST(ExperimentTest, TablePrintersProduceOutput) {
+  const ExperimentConfig config = TinyConfig(workload::DatasetKind::kR2);
+  auto results = RunExperiment(config, nullptr);
+  ASSERT_TRUE(results.ok());
+  std::ostringstream series_os;
+  PrintSeriesTable(config, *results, series_os);
+  EXPECT_NE(series_os.str().find("R2"), std::string::npos);
+  EXPECT_NE(series_os.str().find("Skeleton SR-Tree"), std::string::npos);
+  std::ostringstream build_os;
+  PrintBuildTable(config, *results, build_os);
+  EXPECT_NE(build_os.str().find("BUILD STATISTICS"), std::string::npos);
+}
+
+TEST(ExperimentTest, CsvRoundTrip) {
+  const ExperimentConfig config = TinyConfig(workload::DatasetKind::kI1);
+  auto results = RunExperiment(config, nullptr);
+  ASSERT_TRUE(results.ok());
+  const std::string path = testing::TempDir() + "/series.csv";
+  ASSERT_TRUE(WriteSeriesCsv(path, config, *results).ok());
+  std::ifstream in(path);
+  std::string header;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, header)));
+  EXPECT_EQ(header,
+            "qar,log10_qar,R_Tree,SR_Tree,Skeleton_R_Tree,"
+            "Skeleton_SR_Tree");
+  int rows = 0;
+  std::string line;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 3);
+}
+
+TEST(ExperimentTest, SkeletonBeatsNonSkeletonOnVerticalQueries) {
+  // The paper's headline effect at miniature scale: for horizontal segment
+  // data and vertical queries, skeleton indexes access far fewer nodes.
+  BenchArgs args;
+  args.tuples = 20000;
+  args.queries = 40;
+  ExperimentConfig config = MakePaperConfig(workload::DatasetKind::kI1, args);
+  config.qars = {0.0001};
+  auto results = RunExperiment(config, nullptr);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  const double rtree = (*results)[0].avg_nodes[0];
+  const double skeleton_rtree = (*results)[2].avg_nodes[0];
+  EXPECT_LT(skeleton_rtree, rtree);
+}
+
+TEST(BenchArgsTest, ParsesFlags) {
+  const char* argv[] = {"bench", "--tuples=5000", "--queries=7", "--seed=9",
+                        "--check"};
+  auto args = ParseBenchArgs(5, const_cast<char**>(argv));
+  ASSERT_TRUE(args.ok());
+  EXPECT_EQ(args->tuples, 5000u);
+  EXPECT_EQ(args->queries, 7);
+  EXPECT_EQ(args->seed, 9u);
+  EXPECT_TRUE(args->check_invariants);
+}
+
+TEST(BenchArgsTest, RejectsUnknownAndInvalid) {
+  const char* bad[] = {"bench", "--wat"};
+  EXPECT_FALSE(ParseBenchArgs(2, const_cast<char**>(bad)).ok());
+  const char* zero[] = {"bench", "--tuples=0"};
+  EXPECT_FALSE(ParseBenchArgs(2, const_cast<char**>(zero)).ok());
+}
+
+TEST(MakePaperConfigTest, FollowsPaperParameters) {
+  BenchArgs args;
+  args.tuples = 200000;
+  const ExperimentConfig config =
+      MakePaperConfig(workload::DatasetKind::kR2, args);
+  EXPECT_EQ(config.options.skeleton.prediction_sample, 10000u);
+  EXPECT_EQ(config.options.skeleton.coalesce_interval, 1000u);
+  EXPECT_EQ(config.options.skeleton.coalesce_candidates, 10);
+  EXPECT_EQ(config.options.pager.base_block_size, 1024u);
+  EXPECT_EQ(config.qars.size(), 13u);
+  EXPECT_EQ(config.queries_per_qar, 100);
+}
+
+}  // namespace
+}  // namespace segidx::bench_support

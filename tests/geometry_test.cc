@@ -1,0 +1,255 @@
+#include "common/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace segidx {
+namespace {
+
+TEST(IntervalTest, BasicProperties) {
+  const Interval iv(2, 10);
+  EXPECT_TRUE(iv.valid());
+  EXPECT_EQ(iv.length(), 8);
+  EXPECT_EQ(iv.center(), 6);
+  EXPECT_FALSE(iv.is_point());
+
+  const Interval pt = Interval::Point(5);
+  EXPECT_TRUE(pt.is_point());
+  EXPECT_EQ(pt.length(), 0);
+}
+
+TEST(IntervalTest, ContainsPoint) {
+  const Interval iv(2, 10);
+  EXPECT_TRUE(iv.Contains(2.0));
+  EXPECT_TRUE(iv.Contains(10.0));
+  EXPECT_TRUE(iv.Contains(5.0));
+  EXPECT_FALSE(iv.Contains(1.999));
+  EXPECT_FALSE(iv.Contains(10.001));
+}
+
+TEST(IntervalTest, ContainsAndSpans) {
+  const Interval big(0, 100);
+  const Interval small(10, 20);
+  EXPECT_TRUE(big.Contains(small));
+  EXPECT_TRUE(big.Spans(small));
+  EXPECT_FALSE(small.Spans(big));
+  // Span is reflexive.
+  EXPECT_TRUE(big.Spans(big));
+  // Exact boundary containment counts.
+  EXPECT_TRUE(big.Spans(Interval(0, 100)));
+  EXPECT_TRUE(big.Spans(Interval(0, 50)));
+  EXPECT_FALSE(big.Spans(Interval(-1, 50)));
+}
+
+TEST(IntervalTest, IntersectsClosedSemantics) {
+  EXPECT_TRUE(Interval(0, 5).Intersects(Interval(5, 10)));  // Touching.
+  EXPECT_TRUE(Interval(0, 5).Intersects(Interval(3, 4)));
+  EXPECT_FALSE(Interval(0, 5).Intersects(Interval(5.001, 10)));
+  // Points.
+  EXPECT_TRUE(Interval::Point(5).Intersects(Interval(0, 5)));
+  EXPECT_TRUE(Interval::Point(5).Intersects(Interval::Point(5)));
+  EXPECT_FALSE(Interval::Point(5).Intersects(Interval::Point(5.1)));
+}
+
+TEST(IntervalTest, EncloseAndIntersect) {
+  const Interval a(0, 5);
+  const Interval b(3, 10);
+  EXPECT_EQ(a.Enclose(b), Interval(0, 10));
+  EXPECT_EQ(a.Intersect(b), Interval(3, 5));
+  // Enclose of disjoint intervals covers the gap.
+  EXPECT_EQ(Interval(0, 1).Enclose(Interval(9, 10)), Interval(0, 10));
+}
+
+TEST(RectTest, AreaMarginCenter) {
+  const Rect r(0, 4, 0, 3);
+  EXPECT_EQ(r.area(), 12);
+  EXPECT_EQ(r.margin(), 7);
+  const Rect pt = Rect::Point(1, 2);
+  EXPECT_EQ(pt.area(), 0);
+  EXPECT_TRUE(pt.valid());
+}
+
+TEST(RectTest, Segment1DConstruction) {
+  const Rect seg = Rect::Segment1D(10, 90, 5);
+  EXPECT_EQ(seg.x, Interval(10, 90));
+  EXPECT_TRUE(seg.y.is_point());
+  EXPECT_EQ(seg.y.lo, 5);
+}
+
+TEST(RectTest, IntersectsAndContains) {
+  const Rect a(0, 10, 0, 10);
+  const Rect b(5, 15, 5, 15);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Contains(b));
+  EXPECT_TRUE(a.Contains(Rect(1, 9, 1, 9)));
+  // Disjoint in one dimension only.
+  EXPECT_FALSE(a.Intersects(Rect(11, 12, 0, 10)));
+  EXPECT_FALSE(a.Intersects(Rect(0, 10, 11, 12)));
+  // Edge touching counts as intersection (closed rectangles).
+  EXPECT_TRUE(a.Intersects(Rect(10, 12, 0, 10)));
+  EXPECT_TRUE(a.Intersects(Rect(10, 12, 10, 12)));  // Corner touch.
+}
+
+TEST(RectTest, SpansEitherDimension) {
+  const Rect region(10, 20, 10, 20);
+  // Spans in X only.
+  EXPECT_TRUE(Rect(0, 30, 12, 15).SpansEitherDimension(region));
+  // Spans in Y only.
+  EXPECT_TRUE(Rect(12, 15, 0, 30).SpansEitherDimension(region));
+  // Spans in both.
+  EXPECT_TRUE(Rect(0, 30, 0, 30).SpansEitherDimension(region));
+  EXPECT_TRUE(Rect(0, 30, 0, 30).SpansBothDimensions(region));
+  // Spans in neither.
+  EXPECT_FALSE(Rect(12, 15, 12, 15).SpansEitherDimension(region));
+  EXPECT_FALSE(Rect(0, 30, 12, 15).SpansBothDimensions(region));
+  // A horizontal segment spanning a degenerate-Y region.
+  const Rect segment_region = Rect::Segment1D(10, 20, 5);
+  EXPECT_TRUE(
+      Rect::Segment1D(0, 30, 5).SpansEitherDimension(segment_region));
+}
+
+TEST(RectTest, SpansRegionRequiresIntersection) {
+  const Rect region(10, 20, 10, 20);
+  // Covers the region's X range and touches it in Y: spanning.
+  EXPECT_TRUE(Rect(0, 30, 15, 40).SpansRegion(region));
+  EXPECT_TRUE(Rect(0, 30, 20, 40).SpansRegion(region));  // Edge touch.
+  // Covers the region's X range but lies entirely above it: NOT spanning
+  // (this is the difference from SpansEitherDimension).
+  EXPECT_FALSE(Rect(0, 30, 25, 40).SpansRegion(region));
+  EXPECT_TRUE(Rect(0, 30, 25, 40).SpansEitherDimension(region));
+  // Intersects but covers neither dimension: not spanning.
+  EXPECT_FALSE(Rect(15, 25, 15, 25).SpansRegion(region));
+  // A horizontal segment through the region, covering X: spanning.
+  EXPECT_TRUE(Rect::Segment1D(0, 30, 15).SpansRegion(region));
+  // The same segment below the region: not spanning.
+  EXPECT_FALSE(Rect::Segment1D(0, 30, 5).SpansRegion(region));
+}
+
+TEST(RectTest, Enlargement) {
+  const Rect r(0, 10, 0, 10);
+  EXPECT_EQ(r.Enlargement(Rect(2, 3, 2, 3)), 0);
+  // Growing to (0,20)x(0,10): area 200 - 100.
+  EXPECT_EQ(r.Enlargement(Rect(15, 20, 0, 10)), 100);
+}
+
+TEST(CutRecordTest, FullyEnclosedHasNoRemnants) {
+  const CutResult cut = CutRecord(Rect(2, 3, 2, 3), Rect(0, 10, 0, 10));
+  EXPECT_EQ(cut.spanning_portion, Rect(2, 3, 2, 3));
+  EXPECT_TRUE(cut.remnants.empty());
+}
+
+TEST(CutRecordTest, HorizontalOverhangProducesSideRemnants) {
+  // Paper Figure 3: a segment extending beyond one border.
+  const Rect record = Rect::Segment1D(0, 100, 5);
+  const Rect region(20, 60, 0, 10);
+  const CutResult cut = CutRecord(record, region);
+  EXPECT_EQ(cut.spanning_portion, Rect::Segment1D(20, 60, 5));
+  ASSERT_EQ(cut.remnants.size(), 2u);
+  EXPECT_EQ(cut.remnants[0], Rect::Segment1D(0, 20, 5));
+  EXPECT_EQ(cut.remnants[1], Rect::Segment1D(60, 100, 5));
+}
+
+TEST(CutRecordTest, FourSidedOverhang) {
+  const Rect record(0, 100, 0, 100);
+  const Rect region(40, 60, 40, 60);
+  const CutResult cut = CutRecord(record, region);
+  EXPECT_EQ(cut.spanning_portion, region);
+  ASSERT_EQ(cut.remnants.size(), 4u);
+  // Left and right slabs take the full record height; top/bottom pieces
+  // cover only the middle column.
+  EXPECT_EQ(cut.remnants[0], Rect(0, 40, 0, 100));
+  EXPECT_EQ(cut.remnants[1], Rect(60, 100, 0, 100));
+  EXPECT_EQ(cut.remnants[2], Rect(40, 60, 0, 40));
+  EXPECT_EQ(cut.remnants[3], Rect(40, 60, 60, 100));
+}
+
+// Property: the spanning portion plus remnants tile the record — their
+// areas sum to the record's area and each piece is inside the record.
+TEST(CutRecordTest, PiecesTileTheRecordProperty) {
+  Rng rng(7);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Rect record(rng.Uniform(0, 50), rng.Uniform(50, 100),
+                      rng.Uniform(0, 50), rng.Uniform(50, 100));
+    const Rect region(rng.Uniform(0, 60), rng.Uniform(60, 120),
+                      rng.Uniform(0, 60), rng.Uniform(60, 120));
+    if (!record.Intersects(region)) continue;
+    const CutResult cut = CutRecord(record, region);
+
+    EXPECT_TRUE(region.Contains(cut.spanning_portion));
+    EXPECT_TRUE(record.Contains(cut.spanning_portion));
+    double total = cut.spanning_portion.area();
+    for (const Rect& remnant : cut.remnants) {
+      EXPECT_TRUE(record.Contains(remnant));
+      EXPECT_FALSE(remnant.x.length() == 0 && remnant.y.length() == 0);
+      total += remnant.area();
+      // Remnant interiors are outside the region: their intersection with
+      // the region has zero area.
+      if (remnant.Intersects(region)) {
+        EXPECT_EQ(remnant.Intersect(region).area(), 0.0);
+      }
+    }
+    EXPECT_NEAR(total, record.area(), 1e-6 * (1 + record.area()));
+  }
+}
+
+// Algebraic laws the index machinery silently relies on, over random
+// inputs: Enclose is commutative/associative-compatible and monotone;
+// Intersect of intersecting rects is contained in both; Enlargement is
+// non-negative and zero exactly for containment.
+TEST(RectAlgebraTest, RandomizedLaws) {
+  Rng rng(41);
+  auto random_rect = [&rng]() {
+    const Coord x = rng.Uniform(-100, 100);
+    const Coord y = rng.Uniform(-100, 100);
+    return Rect(x, x + rng.Uniform(0, 80), y, y + rng.Uniform(0, 80));
+  };
+  for (int trial = 0; trial < 3000; ++trial) {
+    const Rect a = random_rect();
+    const Rect b = random_rect();
+    const Rect c = random_rect();
+
+    // Enclose: commutative, idempotent, contains both operands.
+    EXPECT_EQ(a.Enclose(b), b.Enclose(a));
+    EXPECT_EQ(a.Enclose(a), a);
+    EXPECT_TRUE(a.Enclose(b).Contains(a));
+    EXPECT_TRUE(a.Enclose(b).Contains(b));
+    // Associative.
+    EXPECT_EQ(a.Enclose(b).Enclose(c), a.Enclose(b.Enclose(c)));
+
+    // Intersection symmetric; containment of intersection.
+    EXPECT_EQ(a.Intersects(b), b.Intersects(a));
+    if (a.Intersects(b)) {
+      const Rect i = a.Intersect(b);
+      EXPECT_TRUE(i.valid());
+      EXPECT_TRUE(a.Contains(i));
+      EXPECT_TRUE(b.Contains(i));
+      EXPECT_EQ(i, b.Intersect(a));
+    }
+
+    // Enlargement: non-negative; zero iff already contained.
+    EXPECT_GE(a.Enlargement(b), 0);
+    if (a.Contains(b)) {
+      EXPECT_EQ(a.Enlargement(b), 0);
+    }
+
+    // Contains implies Intersects and span relations are consistent.
+    if (a.Contains(b)) {
+      EXPECT_TRUE(a.Intersects(b));
+      EXPECT_TRUE(a.SpansRegion(b));
+      EXPECT_TRUE(a.SpansBothDimensions(b));
+    }
+    if (a.SpansRegion(b)) {
+      EXPECT_TRUE(a.Intersects(b));
+      EXPECT_TRUE(a.SpansEitherDimension(b));
+    }
+  }
+}
+
+TEST(RectTest, ToStringIsReadable) {
+  EXPECT_EQ(Rect(1, 2, 3, 4).ToString(), "[1, 2]x[3, 4]");
+  EXPECT_EQ(Interval(1, 2).ToString(), "[1, 2]");
+}
+
+}  // namespace
+}  // namespace segidx

@@ -1,0 +1,103 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace segidx {
+namespace {
+
+TEST(HistogramTest, CountsAndClamping) {
+  Histogram h(Interval(0, 100), 10);
+  h.Add(5);
+  h.Add(15);
+  h.Add(15);
+  h.Add(-3);   // Clamped into bucket 0.
+  h.Add(150);  // Clamped into the last bucket.
+  EXPECT_EQ(h.total_count(), 5);
+  EXPECT_EQ(h.bucket(0), 2);
+  EXPECT_EQ(h.bucket(1), 2);
+  EXPECT_EQ(h.bucket(9), 1);
+}
+
+TEST(HistogramTest, BucketRangesTileTheDomain) {
+  Histogram h(Interval(0, 100), 7);
+  Coord prev_hi = 0;
+  for (int i = 0; i < h.bucket_count(); ++i) {
+    const Interval range = h.BucketRange(i);
+    EXPECT_EQ(range.lo, prev_hi);
+    prev_hi = range.hi;
+  }
+  EXPECT_EQ(prev_hi, 100);
+}
+
+TEST(HistogramTest, EmptyHistogramGivesEquiWidthBoundaries) {
+  Histogram h(Interval(0, 100), 10);
+  const std::vector<Coord> bounds = h.EquiDepthBoundaries(4);
+  ASSERT_EQ(bounds.size(), 5u);
+  EXPECT_EQ(bounds[0], 0);
+  EXPECT_EQ(bounds[1], 25);
+  EXPECT_EQ(bounds[2], 50);
+  EXPECT_EQ(bounds[3], 75);
+  EXPECT_EQ(bounds[4], 100);
+}
+
+TEST(HistogramTest, UniformDataGivesRoughlyEqualBoundaries) {
+  Histogram h(Interval(0, 1000), 100);
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) h.Add(rng.Uniform(0, 1000));
+  const std::vector<Coord> bounds = h.EquiDepthBoundaries(10);
+  ASSERT_EQ(bounds.size(), 11u);
+  for (int p = 1; p < 10; ++p) {
+    EXPECT_NEAR(bounds[p], p * 100.0, 15.0);
+  }
+}
+
+TEST(HistogramTest, SkewedDataGivesSkewedBoundaries) {
+  // Exponential mass concentrates near zero, so equi-depth cells must be
+  // narrow at the low end and wide at the high end — the paper's Figure 6.
+  Histogram h(Interval(0, 100000), 100);
+  Rng rng(5);
+  for (int i = 0; i < 100000; ++i) h.Add(rng.Exponential(7000, 100000));
+  const std::vector<Coord> bounds = h.EquiDepthBoundaries(10);
+  ASSERT_EQ(bounds.size(), 11u);
+  const Coord first_cell = bounds[1] - bounds[0];
+  const Coord last_cell = bounds[10] - bounds[9];
+  EXPECT_LT(first_cell, 2000);
+  EXPECT_GT(last_cell, 20000);
+}
+
+TEST(HistogramTest, BoundariesAreStrictlyIncreasing) {
+  Histogram h(Interval(0, 100), 10);
+  // All mass in a single spot: degenerate quantiles.
+  for (int i = 0; i < 1000; ++i) h.Add(50);
+  const std::vector<Coord> bounds = h.EquiDepthBoundaries(8);
+  ASSERT_EQ(bounds.size(), 9u);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_GT(bounds[i], bounds[i - 1]);
+  }
+  EXPECT_EQ(bounds.front(), 0);
+}
+
+TEST(HistogramTest, MassInPrefixStillCoversDomain) {
+  Histogram h(Interval(0, 100), 10);
+  for (int i = 0; i < 100; ++i) h.Add(1.0);
+  const std::vector<Coord> bounds = h.EquiDepthBoundaries(5);
+  ASSERT_EQ(bounds.size(), 6u);
+  EXPECT_EQ(bounds.back(), 100);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_GT(bounds[i], bounds[i - 1]);
+  }
+}
+
+TEST(HistogramTest, AddNBulk) {
+  Histogram h(Interval(0, 10), 2);
+  h.AddN(1, 50);
+  h.AddN(9, 25);
+  EXPECT_EQ(h.total_count(), 75);
+  EXPECT_EQ(h.bucket(0), 50);
+  EXPECT_EQ(h.bucket(1), 25);
+}
+
+}  // namespace
+}  // namespace segidx

@@ -1,0 +1,283 @@
+#include "storage/pager.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "storage/block_device.h"
+
+namespace segidx::storage {
+namespace {
+
+PagerOptions SmallPool() {
+  PagerOptions options;
+  options.base_block_size = 1024;
+  options.buffer_pool_bytes = 8 * 1024;  // Tiny: forces eviction.
+  return options;
+}
+
+std::unique_ptr<Pager> MakeMemoryPager(const PagerOptions& options) {
+  auto result = Pager::Create(std::make_unique<MemoryBlockDevice>(), options);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+TEST(PageIdTest, EncodeDecodeRoundTrip) {
+  PageId id;
+  id.block = 12345;
+  id.size_class = 3;
+  const PageId back = PageId::Decode(id.Encode());
+  EXPECT_EQ(back, id);
+  EXPECT_TRUE(id.valid());
+  EXPECT_FALSE(PageId().valid());
+}
+
+TEST(PagerTest, AllocateZeroedAndWritable) {
+  auto pager = MakeMemoryPager(PagerOptions());
+  auto page = pager->Allocate(0);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page->size(), 1024u);
+  for (size_t i = 0; i < page->size(); ++i) {
+    ASSERT_EQ(page->data()[i], 0);
+  }
+  std::memset(page->data(), 0x5a, page->size());
+  page->MarkDirty();
+}
+
+TEST(PagerTest, ExtentSizesDoublePerClass) {
+  auto pager = MakeMemoryPager(PagerOptions());
+  EXPECT_EQ(pager->ExtentBytes(0), 1024u);
+  EXPECT_EQ(pager->ExtentBytes(1), 2048u);
+  EXPECT_EQ(pager->ExtentBytes(4), 16384u);
+  auto page = pager->Allocate(4);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page->size(), 16384u);
+}
+
+TEST(PagerTest, FetchReturnsWrittenBytes) {
+  auto pager = MakeMemoryPager(PagerOptions());
+  PageId id;
+  {
+    auto page = pager->Allocate(1);
+    ASSERT_TRUE(page.ok());
+    id = page->id();
+    page->data()[0] = 0x11;
+    page->data()[2047] = 0x22;
+    page->MarkDirty();
+  }
+  auto fetched = pager->Fetch(id);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched->data()[0], 0x11);
+  EXPECT_EQ(fetched->data()[2047], 0x22);
+}
+
+TEST(PagerTest, EvictionWritesBackDirtyPages) {
+  auto pager = MakeMemoryPager(SmallPool());
+  std::vector<PageId> ids;
+  // 32 KB of pages through an 8 KB pool.
+  for (int i = 0; i < 32; ++i) {
+    auto page = pager->Allocate(0);
+    ASSERT_TRUE(page.ok());
+    page->data()[0] = static_cast<uint8_t>(i);
+    page->MarkDirty();
+    ids.push_back(page->id());
+  }
+  EXPECT_GT(pager->stats().evictions, 0u);
+  for (int i = 0; i < 32; ++i) {
+    auto page = pager->Fetch(ids[static_cast<size_t>(i)]);
+    ASSERT_TRUE(page.ok());
+    EXPECT_EQ(page->data()[0], static_cast<uint8_t>(i));
+  }
+}
+
+TEST(PagerTest, PinnedPagesSurviveCapacityPressure) {
+  auto pager = MakeMemoryPager(SmallPool());
+  auto pinned = pager->Allocate(0);
+  ASSERT_TRUE(pinned.ok());
+  pinned->data()[7] = 0x77;
+  pinned->MarkDirty();
+  for (int i = 0; i < 64; ++i) {
+    auto page = pager->Allocate(0);
+    ASSERT_TRUE(page.ok());
+  }
+  // The pinned frame was never evicted: the pointer is still valid.
+  EXPECT_EQ(pinned->data()[7], 0x77);
+  EXPECT_GE(pager->pinned_frames(), 1u);
+}
+
+TEST(PagerTest, StatsCountHitsAndMisses) {
+  auto pager = MakeMemoryPager(PagerOptions());
+  PageId id;
+  {
+    auto page = pager->Allocate(0);
+    ASSERT_TRUE(page.ok());
+    id = page->id();
+  }
+  pager->ResetStats();
+  { auto page = pager->Fetch(id); }
+  { auto page = pager->Fetch(id); }
+  EXPECT_EQ(pager->stats().logical_reads, 2u);
+  EXPECT_EQ(pager->stats().cache_hits, 2u);  // Still cached from Allocate.
+  EXPECT_EQ(pager->stats().physical_reads, 0u);
+}
+
+TEST(PagerTest, FreeReusesExtents) {
+  auto pager = MakeMemoryPager(PagerOptions());
+  PageId first;
+  {
+    auto page = pager->Allocate(2);
+    ASSERT_TRUE(page.ok());
+    first = page->id();
+  }
+  ASSERT_TRUE(pager->Free(first).ok());
+  auto again = pager->Allocate(2);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->id().block, first.block);
+  // Reallocated extents come back zeroed.
+  for (size_t i = 0; i < again->size(); ++i) {
+    ASSERT_EQ(again->data()[i], 0);
+  }
+}
+
+TEST(PagerTest, FreeDifferentClassesUseSeparateLists) {
+  auto pager = MakeMemoryPager(PagerOptions());
+  PageId small;
+  PageId big;
+  {
+    auto a = pager->Allocate(0);
+    auto b = pager->Allocate(3);
+    small = a->id();
+    big = b->id();
+  }
+  ASSERT_TRUE(pager->Free(small).ok());
+  ASSERT_TRUE(pager->Free(big).ok());
+  auto realloc_big = pager->Allocate(3);
+  ASSERT_TRUE(realloc_big.ok());
+  EXPECT_EQ(realloc_big->id().block, big.block);
+}
+
+TEST(PagerTest, FreePinnedPageFails) {
+  auto pager = MakeMemoryPager(PagerOptions());
+  auto page = pager->Allocate(0);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(pager->Free(page->id()).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(PagerTest, UserMetaRoundTrip) {
+  auto pager = MakeMemoryPager(PagerOptions());
+  const std::string blob = "tree metadata goes here";
+  ASSERT_TRUE(pager
+                  ->SetUserMeta(reinterpret_cast<const uint8_t*>(blob.data()),
+                                blob.size())
+                  .ok());
+  EXPECT_EQ(std::string(pager->user_meta().begin(), pager->user_meta().end()),
+            blob);
+  std::vector<uint8_t> too_big(Pager::kUserMetaCapacity + 1, 0);
+  EXPECT_FALSE(pager->SetUserMeta(too_big.data(), too_big.size()).ok());
+}
+
+TEST(PagerTest, PersistsAcrossReopen) {
+  const std::string path = testing::TempDir() + "/pager_persist";
+  std::remove(path.c_str());
+  PagerOptions options;
+  PageId id;
+  {
+    auto device = FileBlockDevice::Open(path, /*create=*/true).value();
+    auto pager = Pager::Create(std::move(device), options).value();
+    auto page = pager->Allocate(1);
+    ASSERT_TRUE(page.ok());
+    id = page->id();
+    std::memset(page->data(), 0x3c, page->size());
+    page->MarkDirty();
+    page->Release();
+    const uint8_t meta[] = {'h', 'i'};
+    ASSERT_TRUE(pager->SetUserMeta(meta, 2).ok());
+    ASSERT_TRUE(pager->Checkpoint().ok());
+  }
+  {
+    auto device = FileBlockDevice::Open(path, /*create=*/false).value();
+    auto pager = Pager::Open(std::move(device), options).value();
+    EXPECT_EQ(pager->user_meta().size(), 2u);
+    EXPECT_EQ(pager->user_meta()[0], 'h');
+    auto page = pager->Fetch(id);
+    ASSERT_TRUE(page.ok());
+    for (size_t i = 0; i < page->size(); ++i) {
+      ASSERT_EQ(page->data()[i], 0x3c);
+    }
+  }
+}
+
+TEST(PagerTest, FreeListSurvivesReopen) {
+  const std::string path = testing::TempDir() + "/pager_freelist";
+  std::remove(path.c_str());
+  PagerOptions options;
+  PageId freed;
+  {
+    auto pager =
+        Pager::Create(FileBlockDevice::Open(path, true).value(), options)
+            .value();
+    {
+      auto a = pager->Allocate(0);
+      auto b = pager->Allocate(0);
+      freed = a->id();
+    }
+    ASSERT_TRUE(pager->Free(freed).ok());
+    ASSERT_TRUE(pager->Checkpoint().ok());
+  }
+  {
+    auto pager =
+        Pager::Open(FileBlockDevice::Open(path, false).value(), options)
+            .value();
+    auto page = pager->Allocate(0);
+    ASSERT_TRUE(page.ok());
+    EXPECT_EQ(page->id().block, freed.block);
+  }
+}
+
+TEST(PagerTest, OpenRejectsGarbage) {
+  auto device = std::make_unique<MemoryBlockDevice>();
+  std::vector<uint8_t> junk(2048, 0xab);
+  ASSERT_TRUE(device->Write(0, junk.data(), junk.size()).ok());
+  const auto result = Pager::Open(std::move(device), PagerOptions());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(PagerTest, OpenRejectsBlockSizeMismatch) {
+  auto device = std::make_unique<MemoryBlockDevice>();
+  MemoryBlockDevice* raw = device.get();
+  {
+    PagerOptions options;
+    options.base_block_size = 1024;
+    auto pager = Pager::Create(std::move(device), options).value();
+    ASSERT_TRUE(pager->Checkpoint().ok());
+    // Steal the bytes into a fresh device for reopening.
+    std::vector<uint8_t> bytes(raw->size());
+    ASSERT_TRUE(raw->Read(0, bytes.size(), bytes.data()).ok());
+    auto device2 = std::make_unique<MemoryBlockDevice>();
+    ASSERT_TRUE(device2->Write(0, bytes.data(), bytes.size()).ok());
+    PagerOptions mismatched;
+    mismatched.base_block_size = 2048;
+    const auto result = Pager::Open(std::move(device2), mismatched);
+    EXPECT_FALSE(result.ok());
+  }
+}
+
+TEST(PageHandleTest, MoveTransfersPin) {
+  auto pager = MakeMemoryPager(PagerOptions());
+  auto page = pager->Allocate(0);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(pager->pinned_frames(), 1u);
+  PageHandle moved = std::move(page).value();
+  EXPECT_TRUE(moved.valid());
+  EXPECT_EQ(pager->pinned_frames(), 1u);
+  moved.Release();
+  EXPECT_EQ(pager->pinned_frames(), 0u);
+  moved.Release();  // Idempotent.
+}
+
+}  // namespace
+}  // namespace segidx::storage

@@ -1,0 +1,110 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace segidx {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBoundsAndMean) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Uniform(10, 20);
+    ASSERT_GE(v, 10);
+    ASSERT_LE(v, 20);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 15.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMeanMatchesBeta) {
+  Rng rng(13);
+  const double beta = 2000;
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Exponential(beta);
+  }
+  // Standard error of the mean is beta/sqrt(n) ≈ 4.5; allow 5 sigma.
+  EXPECT_NEAR(sum / n, beta, 25.0);
+}
+
+TEST(RngTest, TruncatedExponentialStaysInRange) {
+  Rng rng(17);
+  const double beta = 7000;
+  const double cap = 10000;
+  for (int i = 0; i < 50000; ++i) {
+    const double v = rng.Exponential(beta, cap);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, cap);
+  }
+}
+
+TEST(RngTest, ExponentialIsSkewed) {
+  // The defining property the paper relies on: many short values, few long
+  // ones. The median of Exp(beta) is beta * ln 2 < mean.
+  Rng rng(19);
+  const double beta = 2000;
+  int below_mean = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Exponential(beta) < beta) ++below_mean;
+  }
+  EXPECT_NEAR(static_cast<double>(below_mean) / n, 1 - std::exp(-1.0), 0.01);
+}
+
+TEST(RngTest, UniformIntCoversRangeUniformly) {
+  Rng rng(23);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const int64_t v = rng.UniformInt(0, 9);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 9);
+    ++counts[static_cast<size_t>(v)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 10, 500);
+  }
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.UniformInt(5, 5), 5);
+  }
+}
+
+}  // namespace
+}  // namespace segidx

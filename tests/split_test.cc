@@ -1,0 +1,132 @@
+#include "rtree/split.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace segidx::rtree {
+namespace {
+
+struct SplitCase {
+  SplitAlgorithm algorithm;
+  size_t count;
+  size_t min_fill;
+  uint64_t seed;
+};
+
+void PrintTo(const SplitCase& c, std::ostream* os) {
+  *os << (c.algorithm == SplitAlgorithm::kQuadratic ? "Quadratic"
+          : c.algorithm == SplitAlgorithm::kLinear  ? "Linear"
+                                                    : "RStar")
+      << "_n" << c.count << "_m" << c.min_fill << "_s" << c.seed;
+}
+
+class SplitPropertyTest : public testing::TestWithParam<SplitCase> {};
+
+TEST_P(SplitPropertyTest, PartitionIsCompleteAndBalanced) {
+  const SplitCase& c = GetParam();
+  Rng rng(c.seed);
+  std::vector<Rect> rects;
+  rects.reserve(c.count);
+  for (size_t i = 0; i < c.count; ++i) {
+    const Coord x = rng.Uniform(0, 1000);
+    const Coord y = rng.Uniform(0, 1000);
+    rects.push_back(
+        Rect(x, x + rng.Uniform(0, 50), y, y + rng.Uniform(0, 50)));
+  }
+
+  const SplitPartition part = SplitRects(rects, c.min_fill, c.algorithm);
+
+  // Every index appears exactly once.
+  std::vector<int> all = part.group_a;
+  all.insert(all.end(), part.group_b.begin(), part.group_b.end());
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), c.count);
+  for (size_t i = 0; i < c.count; ++i) {
+    EXPECT_EQ(all[i], static_cast<int>(i));
+  }
+
+  // Both groups meet the (clamped) minimum fill.
+  const size_t effective_min =
+      std::max<size_t>(1, std::min(c.min_fill, c.count / 2));
+  EXPECT_GE(part.group_a.size(), effective_min);
+  EXPECT_GE(part.group_b.size(), effective_min);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SplitPropertyTest,
+    testing::Values(
+        SplitCase{SplitAlgorithm::kQuadratic, 2, 1, 1},
+        SplitCase{SplitAlgorithm::kQuadratic, 3, 1, 2},
+        SplitCase{SplitAlgorithm::kQuadratic, 26, 10, 3},
+        SplitCase{SplitAlgorithm::kQuadratic, 26, 10, 4},
+        SplitCase{SplitAlgorithm::kQuadratic, 51, 20, 5},
+        SplitCase{SplitAlgorithm::kQuadratic, 100, 40, 6},
+        SplitCase{SplitAlgorithm::kLinear, 2, 1, 7},
+        SplitCase{SplitAlgorithm::kLinear, 3, 1, 8},
+        SplitCase{SplitAlgorithm::kLinear, 26, 10, 9},
+        SplitCase{SplitAlgorithm::kLinear, 51, 20, 10},
+        SplitCase{SplitAlgorithm::kLinear, 100, 40, 11},
+        SplitCase{SplitAlgorithm::kRStar, 2, 1, 12},
+        SplitCase{SplitAlgorithm::kRStar, 3, 1, 13},
+        SplitCase{SplitAlgorithm::kRStar, 26, 10, 14},
+        SplitCase{SplitAlgorithm::kRStar, 51, 20, 15},
+        SplitCase{SplitAlgorithm::kRStar, 100, 40, 16}),
+    testing::PrintToStringParamName());
+
+TEST(SplitTest, SeparatedClustersSplitCleanly) {
+  // Two well-separated clusters must not be mixed.
+  std::vector<Rect> rects;
+  for (int i = 0; i < 10; ++i) {
+    rects.push_back(Rect(i, i + 1, 0, 1));             // Left cluster.
+    rects.push_back(Rect(1000 + i, 1001 + i, 0, 1));   // Right cluster.
+  }
+  for (auto algorithm : {SplitAlgorithm::kQuadratic, SplitAlgorithm::kLinear,
+                         SplitAlgorithm::kRStar}) {
+    const SplitPartition part = SplitRects(rects, 5, algorithm);
+    auto side_of = [](int idx) { return idx % 2; };  // Even = left cluster.
+    for (const auto& group : {part.group_a, part.group_b}) {
+      const int first_side = side_of(group[0]);
+      for (int idx : group) {
+        EXPECT_EQ(side_of(idx), first_side)
+            << "cluster mixed under "
+            << (algorithm == SplitAlgorithm::kQuadratic ? "quadratic"
+                                                        : "linear");
+      }
+    }
+  }
+}
+
+TEST(SplitTest, IdenticalRectsDoNotCrash) {
+  std::vector<Rect> rects(20, Rect(5, 10, 5, 10));
+  for (auto algorithm : {SplitAlgorithm::kQuadratic, SplitAlgorithm::kLinear,
+                         SplitAlgorithm::kRStar}) {
+    const SplitPartition part = SplitRects(rects, 8, algorithm);
+    EXPECT_EQ(part.group_a.size() + part.group_b.size(), 20u);
+    EXPECT_GE(part.group_a.size(), 8u);
+    EXPECT_GE(part.group_b.size(), 8u);
+  }
+}
+
+TEST(SplitTest, DegenerateSegmentsSplitVertically) {
+  // Horizontal segments at distinct Y values (historical data shape): the
+  // only useful separation is by Y.
+  std::vector<Rect> rects;
+  for (int i = 0; i < 26; ++i) {
+    rects.push_back(Rect::Segment1D(0, 100, i < 13 ? i : 1000 + i));
+  }
+  const SplitPartition part =
+      SplitRects(rects, 10, SplitAlgorithm::kQuadratic);
+  for (const auto& group : {part.group_a, part.group_b}) {
+    const bool first_low = rects[static_cast<size_t>(group[0])].y.lo < 500;
+    for (int idx : group) {
+      EXPECT_EQ(rects[static_cast<size_t>(idx)].y.lo < 500, first_low);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace segidx::rtree

@@ -1,0 +1,101 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace segidx {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status st = IoError("disk on fire");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_EQ(st.message(), "disk on fire");
+  EXPECT_EQ(st.ToString(), "IO_ERROR: disk on fire");
+}
+
+TEST(StatusTest, AllConstructorsProduceDistinctCodes) {
+  EXPECT_EQ(InvalidArgumentError("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(AlreadyExistsError("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(CorruptionError("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(ResourceExhaustedError("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(IoError("a"), IoError("a"));
+  EXPECT_FALSE(IoError("a") == IoError("b"));
+  EXPECT_FALSE(IoError("a") == CorruptionError("a"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = NotFoundError("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  ASSERT_TRUE(r.ok());
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+namespace helpers {
+
+Status FailIfNegative(int x) {
+  if (x < 0) return InvalidArgumentError("negative");
+  return Status::OK();
+}
+
+Result<int> HalveEven(int x) {
+  if (x % 2 != 0) return InvalidArgumentError("odd");
+  return x / 2;
+}
+
+Status Chain(int x, int* out) {
+  SEGIDX_RETURN_IF_ERROR(FailIfNegative(x));
+  SEGIDX_ASSIGN_OR_RETURN(int half, HalveEven(x));
+  *out = half;
+  return Status::OK();
+}
+
+}  // namespace helpers
+
+TEST(ResultTest, MacrosPropagateErrors) {
+  int out = 0;
+  EXPECT_TRUE(helpers::Chain(4, &out).ok());
+  EXPECT_EQ(out, 2);
+  EXPECT_EQ(helpers::Chain(-1, &out).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(helpers::Chain(3, &out).message(), "odd");
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IO_ERROR");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCorruption), "CORRUPTION");
+}
+
+}  // namespace
+}  // namespace segidx

@@ -1,0 +1,167 @@
+#include "workload/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace segidx::workload {
+namespace {
+
+TEST(DatasetKindTest, NamesRoundTrip) {
+  for (DatasetKind kind :
+       {DatasetKind::kI1, DatasetKind::kI2, DatasetKind::kI3,
+        DatasetKind::kI4, DatasetKind::kR1, DatasetKind::kR2,
+        DatasetKind::kRC1, DatasetKind::kRC2}) {
+    const auto parsed = ParseDatasetKind(DatasetKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_TRUE(ParseDatasetKind("i3").ok());  // Case-insensitive.
+  EXPECT_FALSE(ParseDatasetKind("Z9").ok());
+}
+
+TEST(DatasetTest, Deterministic) {
+  DatasetSpec spec;
+  spec.kind = DatasetKind::kI4;
+  spec.count = 100;
+  spec.seed = 5;
+  const auto a = GenerateDataset(spec);
+  const auto b = GenerateDataset(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  spec.seed = 6;
+  const auto c = GenerateDataset(spec);
+  EXPECT_FALSE(a[0] == c[0]);
+}
+
+TEST(DatasetTest, IntervalDatasetsHaveDegenerateY) {
+  for (DatasetKind kind : {DatasetKind::kI1, DatasetKind::kI2,
+                           DatasetKind::kI3, DatasetKind::kI4}) {
+    DatasetSpec spec;
+    spec.kind = kind;
+    spec.count = 500;
+    for (const Rect& r : GenerateDataset(spec)) {
+      EXPECT_TRUE(r.y.is_point());
+      EXPECT_TRUE(r.valid());
+    }
+  }
+}
+
+TEST(DatasetTest, RectangleDatasetsHaveExtentInBothDims) {
+  DatasetSpec spec;
+  spec.kind = DatasetKind::kR2;
+  spec.count = 2000;
+  int with_height = 0;
+  for (const Rect& r : GenerateDataset(spec)) {
+    EXPECT_TRUE(r.valid());
+    if (r.y.length() > 0) ++with_height;
+  }
+  EXPECT_GT(with_height, 1900);
+}
+
+TEST(DatasetTest, UniformLengthsAreShort) {
+  DatasetSpec spec;
+  spec.kind = DatasetKind::kI1;
+  spec.count = 5000;
+  for (const Rect& r : GenerateDataset(spec)) {
+    EXPECT_LE(r.x.length(), kUniformLengthMax);
+    EXPECT_GE(r.x.length(), 0);
+  }
+}
+
+TEST(DatasetTest, ExponentialLengthsAreSkewed) {
+  DatasetSpec spec;
+  spec.kind = DatasetKind::kI3;
+  spec.count = 20000;
+  const auto data = GenerateDataset(spec);
+  double mean = 0;
+  int long_ones = 0;
+  for (const Rect& r : data) {
+    mean += r.x.length();
+    if (r.x.length() > 3 * kBetaLength) ++long_ones;
+  }
+  mean /= static_cast<double>(data.size());
+  EXPECT_NEAR(mean, kBetaLength, 100);
+  // Roughly e^-3 ≈ 5% of intervals are "long" — the paper's skew.
+  EXPECT_GT(long_ones, data.size() / 40);
+  EXPECT_LT(long_ones, data.size() / 10);
+}
+
+TEST(DatasetTest, ExponentialYValuesConcentrateLow) {
+  DatasetSpec spec;
+  spec.kind = DatasetKind::kI2;
+  spec.count = 20000;
+  int below_beta = 0;
+  for (const Rect& r : GenerateDataset(spec)) {
+    if (r.y.lo < kBetaY) ++below_beta;
+  }
+  EXPECT_NEAR(static_cast<double>(below_beta) / 20000, 1 - std::exp(-1.0),
+              0.02);
+}
+
+TEST(DatasetTest, CentersStayInDomain) {
+  for (DatasetKind kind : {DatasetKind::kI1, DatasetKind::kR2,
+                           DatasetKind::kRC2}) {
+    DatasetSpec spec;
+    spec.kind = kind;
+    spec.count = 3000;
+    for (const Rect& r : GenerateDataset(spec)) {
+      EXPECT_GE(r.x.center(), kDomainLo);
+      EXPECT_LE(r.x.center(), kDomainHi);
+      EXPECT_GE(r.y.center(), kDomainLo);
+      EXPECT_LE(r.y.center(), kDomainHi);
+    }
+  }
+}
+
+TEST(DatasetTest, MixedEventRangeComposition) {
+  DatasetSpec spec;
+  spec.kind = DatasetKind::kM1;
+  spec.count = 20000;
+  int events = 0;
+  int long_ranges = 0;
+  for (const Rect& r : GenerateDataset(spec)) {
+    EXPECT_TRUE(r.valid());
+    EXPECT_TRUE(r.y.is_point());
+    if (r.x.is_point()) ++events;
+    if (r.x.length() > 5000) ++long_ranges;
+  }
+  EXPECT_NEAR(events, 6000, 300);       // ~30% events.
+  EXPECT_GT(long_ranges, 600);          // The long-range tail exists.
+  EXPECT_LT(long_ranges, 3000);
+}
+
+TEST(QueryTest, PaperSweepShape) {
+  const std::vector<double>& sweep = PaperQarSweep();
+  ASSERT_EQ(sweep.size(), 13u);
+  EXPECT_EQ(sweep.front(), 0.0001);
+  EXPECT_EQ(sweep.back(), 10000.0);
+  EXPECT_TRUE(std::is_sorted(sweep.begin(), sweep.end()));
+}
+
+TEST(QueryTest, AreaAndAspectRatioAreExact) {
+  for (double qar : PaperQarSweep()) {
+    const auto queries = GenerateQueries(qar, 1e6, 10, 3);
+    ASSERT_EQ(queries.size(), 10u);
+    for (const Rect& q : queries) {
+      EXPECT_NEAR(q.area(), 1e6, 1e-3);
+      EXPECT_NEAR(q.x.length() / q.y.length(), qar, qar * 1e-9);
+    }
+  }
+}
+
+TEST(QueryTest, CentroidsCoverTheDomain) {
+  const auto queries = GenerateQueries(1, 1e6, 500, 11);
+  Coord min_cx = 1e18;
+  Coord max_cx = -1e18;
+  for (const Rect& q : queries) {
+    min_cx = std::min(min_cx, q.x.center());
+    max_cx = std::max(max_cx, q.x.center());
+  }
+  EXPECT_LT(min_cx, 10000);
+  EXPECT_GT(max_cx, 90000);
+}
+
+}  // namespace
+}  // namespace segidx::workload

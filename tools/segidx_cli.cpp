@@ -1,0 +1,304 @@
+// segidx command-line tool: create, load, query, and inspect index files.
+//
+//   segidx create --file=idx --kind=skeleton-srtree [--expected=N]
+//                 [--domain=xlo:xhi:ylo:yhi] [--sample=N]
+//   segidx insert --file=idx [--input=data.csv]
+//       CSV rows: tid,xlo,xhi[,ylo,yhi]   (2 coords = 1-D interval at y=0)
+//   segidx query  --file=idx --rect=xlo:xhi:ylo:yhi [--limit=N]
+//   segidx stats  --file=idx [--dump=DEPTH]
+//   segidx verify --file=idx
+//
+// Exit codes: 0 success, 1 runtime error, 2 usage error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/interval_index.h"
+
+namespace {
+
+using namespace segidx;
+using core::IndexKind;
+using core::IndexOptions;
+using core::IntervalIndex;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: segidx <create|insert|query|stats|verify> --file=PATH ...\n"
+      "  create: --kind=rtree|srtree|skeleton-rtree|skeleton-srtree\n"
+      "          [--expected=N] [--sample=N] [--domain=xlo:xhi:ylo:yhi]\n"
+      "  insert: [--input=CSV]  rows: tid,xlo,xhi[,ylo,yhi]\n"
+      "  query:  --rect=xlo:xhi:ylo:yhi [--limit=N]\n"
+      "  stats:  [--dump=DEPTH]  (print tree structure to DEPTH levels)\n");
+  return 2;
+}
+
+// Simple --key=value argument map.
+struct Args {
+  std::string command;
+  std::vector<std::pair<std::string, std::string>> kv;
+
+  std::optional<std::string> Get(const std::string& key) const {
+    for (const auto& [k, v] : kv) {
+      if (k == key) return v;
+    }
+    return std::nullopt;
+  }
+};
+
+std::optional<Args> Parse(int argc, char** argv) {
+  if (argc < 2) return std::nullopt;
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) return std::nullopt;
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos) return std::nullopt;
+    args.kv.emplace_back(arg.substr(2, eq - 2), arg.substr(eq + 1));
+  }
+  return args;
+}
+
+std::optional<IndexKind> ParseKind(const std::string& name) {
+  if (name == "rtree") return IndexKind::kRTree;
+  if (name == "srtree") return IndexKind::kSRTree;
+  if (name == "skeleton-rtree") return IndexKind::kSkeletonRTree;
+  if (name == "skeleton-srtree") return IndexKind::kSkeletonSRTree;
+  return std::nullopt;
+}
+
+// Parses "a:b:c:d" into exactly `n` doubles.
+std::optional<std::vector<double>> ParseColons(const std::string& text,
+                                               size_t n) {
+  std::vector<double> out;
+  std::stringstream ss(text);
+  std::string piece;
+  while (std::getline(ss, piece, ':')) {
+    char* end = nullptr;
+    const double v = std::strtod(piece.c_str(), &end);
+    if (end == piece.c_str() || *end != '\0') return std::nullopt;
+    out.push_back(v);
+  }
+  if (out.size() != n) return std::nullopt;
+  return out;
+}
+
+IndexOptions OptionsFrom(const Args& args) {
+  IndexOptions options;
+  if (auto expected = args.Get("expected")) {
+    options.skeleton.expected_tuples = std::stoull(*expected);
+  }
+  if (auto sample = args.Get("sample")) {
+    options.skeleton.prediction_sample = std::stoull(*sample);
+  }
+  if (auto domain = args.Get("domain")) {
+    if (auto v = ParseColons(*domain, 4)) {
+      options.skeleton.x_domain = Interval((*v)[0], (*v)[1]);
+      options.skeleton.y_domain = Interval((*v)[2], (*v)[3]);
+    }
+  }
+  return options;
+}
+
+int CmdCreate(const Args& args, const std::string& file) {
+  const auto kind_name = args.Get("kind");
+  if (!kind_name) return Usage();
+  const auto kind = ParseKind(*kind_name);
+  if (!kind) {
+    std::fprintf(stderr, "unknown kind: %s\n", kind_name->c_str());
+    return 2;
+  }
+  auto index = IntervalIndex::CreateOnDisk(*kind, file, OptionsFrom(args));
+  if (!index.ok()) {
+    std::fprintf(stderr, "create failed: %s\n",
+                 index.status().ToString().c_str());
+    return 1;
+  }
+  if (auto st = (*index)->Flush(); !st.ok()) {
+    std::fprintf(stderr, "flush failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("created %s index at %s\n", IndexKindName(*kind),
+              file.c_str());
+  return 0;
+}
+
+int CmdInsert(const Args& args, const std::string& file) {
+  auto opened = IntervalIndex::OpenFromDisk(file, OptionsFrom(args));
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  auto index = std::move(opened).value();
+
+  std::ifstream file_input;
+  if (auto input = args.Get("input")) {
+    file_input.open(*input);
+    if (!file_input) {
+      std::fprintf(stderr, "cannot open %s\n", input->c_str());
+      return 1;
+    }
+  }
+  std::istream& in = file_input.is_open() ? file_input : std::cin;
+
+  uint64_t inserted = 0;
+  uint64_t line_number = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::stringstream ss(line);
+    std::string piece;
+    std::vector<std::string> fields;
+    while (std::getline(ss, piece, ',')) fields.push_back(piece);
+    if (fields.size() != 3 && fields.size() != 5) {
+      std::fprintf(stderr, "line %llu: expected 3 or 5 fields\n",
+                   static_cast<unsigned long long>(line_number));
+      return 1;
+    }
+    const TupleId tid = std::strtoull(fields[0].c_str(), nullptr, 10);
+    const double xlo = std::strtod(fields[1].c_str(), nullptr);
+    const double xhi = std::strtod(fields[2].c_str(), nullptr);
+    Rect rect = fields.size() == 3
+                    ? Rect::Segment1D(xlo, xhi)
+                    : Rect(xlo, xhi, std::strtod(fields[3].c_str(), nullptr),
+                           std::strtod(fields[4].c_str(), nullptr));
+    if (auto st = index->Insert(rect, tid); !st.ok()) {
+      std::fprintf(stderr, "line %llu: insert failed: %s\n",
+                   static_cast<unsigned long long>(line_number),
+                   st.ToString().c_str());
+      return 1;
+    }
+    ++inserted;
+  }
+  if (auto st = index->Flush(); !st.ok()) {
+    std::fprintf(stderr, "flush failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("inserted %llu records (index now holds %llu)\n",
+              static_cast<unsigned long long>(inserted),
+              static_cast<unsigned long long>(index->size()));
+  return 0;
+}
+
+int CmdQuery(const Args& args, const std::string& file) {
+  const auto rect_arg = args.Get("rect");
+  if (!rect_arg) return Usage();
+  const auto coords = ParseColons(*rect_arg, 4);
+  if (!coords) {
+    std::fprintf(stderr, "bad --rect (want xlo:xhi:ylo:yhi)\n");
+    return 2;
+  }
+  const Rect query((*coords)[0], (*coords)[1], (*coords)[2], (*coords)[3]);
+  if (!query.valid()) {
+    std::fprintf(stderr, "invalid query rectangle\n");
+    return 2;
+  }
+  size_t limit = 20;
+  if (auto v = args.Get("limit")) limit = std::stoull(*v);
+
+  auto opened = IntervalIndex::OpenFromDisk(file, OptionsFrom(args));
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  auto index = std::move(opened).value();
+
+  std::vector<rtree::SearchHit> hits;
+  uint64_t nodes = 0;
+  if (auto st = index->Search(query, &hits, &nodes); !st.ok()) {
+    std::fprintf(stderr, "query failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::vector<TupleId> tids;
+  (void)index->SearchTuples(query, &tids);
+  std::printf("%zu records (%zu stored pieces), %llu index nodes accessed\n",
+              tids.size(), hits.size(),
+              static_cast<unsigned long long>(nodes));
+  for (size_t i = 0; i < hits.size() && i < limit; ++i) {
+    std::printf("  tid=%llu rect=%s\n",
+                static_cast<unsigned long long>(hits[i].tid),
+                hits[i].rect.ToString().c_str());
+  }
+  if (hits.size() > limit) {
+    std::printf("  ... (%zu more; raise --limit)\n", hits.size() - limit);
+  }
+  return 0;
+}
+
+int CmdStats(const Args& args, const std::string& file) {
+  auto opened = IntervalIndex::OpenFromDisk(file, OptionsFrom(args));
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  auto index = std::move(opened).value();
+  std::printf("kind:    %s\n", IndexKindName(index->kind()));
+  std::printf("records: %llu\n",
+              static_cast<unsigned long long>(index->size()));
+  std::printf("height:  %d\n", index->height());
+  std::printf("bytes:   %llu\n",
+              static_cast<unsigned long long>(index->index_bytes()));
+  if (auto depth = args.Get("dump")) {
+    return index->tree()->DumpStructure(std::cout, std::stoi(*depth)).ok()
+               ? 0
+               : 1;
+  }
+  auto stats = index->tree()->CollectLevelStats();
+  if (stats.ok()) {
+    for (size_t level = 0; level < stats->size(); ++level) {
+      const auto& s = (*stats)[level];
+      std::printf(
+          "level %zu: %llu nodes, %llu entries, %llu spanning, "
+          "avg region %.0fx%.0f\n",
+          level, static_cast<unsigned long long>(s.nodes),
+          static_cast<unsigned long long>(s.branch_entries),
+          static_cast<unsigned long long>(s.spanning_entries),
+          s.avg_region_width, s.avg_region_height);
+    }
+  }
+  return 0;
+}
+
+int CmdVerify(const Args& args, const std::string& file) {
+  auto opened = IntervalIndex::OpenFromDisk(file, OptionsFrom(args));
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  const Status st = (*opened)->CheckInvariants();
+  if (!st.ok()) {
+    std::fprintf(stderr, "INVARIANT VIOLATION: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("ok: all structural invariants hold\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = Parse(argc, argv);
+  if (!args) return Usage();
+  const auto file = args->Get("file");
+  if (!file) return Usage();
+
+  if (args->command == "create") return CmdCreate(*args, *file);
+  if (args->command == "insert") return CmdInsert(*args, *file);
+  if (args->command == "query") return CmdQuery(*args, *file);
+  if (args->command == "stats") return CmdStats(*args, *file);
+  if (args->command == "verify") return CmdVerify(*args, *file);
+  return Usage();
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_build_cost.dir/ablation_build_cost.cpp.o"
+  "CMakeFiles/ablation_build_cost.dir/ablation_build_cost.cpp.o.d"
+  "ablation_build_cost"
+  "ablation_build_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_build_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

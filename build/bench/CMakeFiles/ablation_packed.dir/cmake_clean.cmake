@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_packed.dir/ablation_packed.cpp.o"
+  "CMakeFiles/ablation_packed.dir/ablation_packed.cpp.o.d"
+  "ablation_packed"
+  "ablation_packed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_packed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

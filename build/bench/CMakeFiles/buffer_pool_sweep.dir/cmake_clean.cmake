@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_pool_sweep.dir/buffer_pool_sweep.cpp.o"
+  "CMakeFiles/buffer_pool_sweep.dir/buffer_pool_sweep.cpp.o.d"
+  "buffer_pool_sweep"
+  "buffer_pool_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_pool_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph1_interval_uniform.dir/graph1_interval_uniform.cpp.o"
+  "CMakeFiles/graph1_interval_uniform.dir/graph1_interval_uniform.cpp.o.d"
+  "graph1_interval_uniform"
+  "graph1_interval_uniform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph1_interval_uniform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

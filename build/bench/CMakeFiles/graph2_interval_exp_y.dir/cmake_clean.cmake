@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph2_interval_exp_y.dir/graph2_interval_exp_y.cpp.o"
+  "CMakeFiles/graph2_interval_exp_y.dir/graph2_interval_exp_y.cpp.o.d"
+  "graph2_interval_exp_y"
+  "graph2_interval_exp_y.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph2_interval_exp_y.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

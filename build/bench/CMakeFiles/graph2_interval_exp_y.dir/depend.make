@@ -1,0 +1,2 @@
+# Empty dependencies file for graph2_interval_exp_y.
+# This may be replaced when dependencies are built.

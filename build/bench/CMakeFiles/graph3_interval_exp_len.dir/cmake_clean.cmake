@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph3_interval_exp_len.dir/graph3_interval_exp_len.cpp.o"
+  "CMakeFiles/graph3_interval_exp_len.dir/graph3_interval_exp_len.cpp.o.d"
+  "graph3_interval_exp_len"
+  "graph3_interval_exp_len.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph3_interval_exp_len.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

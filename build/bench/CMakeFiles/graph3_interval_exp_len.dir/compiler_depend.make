@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for graph3_interval_exp_len.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph4_interval_exp_both.dir/graph4_interval_exp_both.cpp.o"
+  "CMakeFiles/graph4_interval_exp_both.dir/graph4_interval_exp_both.cpp.o.d"
+  "graph4_interval_exp_both"
+  "graph4_interval_exp_both.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph4_interval_exp_both.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

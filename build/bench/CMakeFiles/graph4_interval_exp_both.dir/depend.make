@@ -1,0 +1,2 @@
+# Empty dependencies file for graph4_interval_exp_both.
+# This may be replaced when dependencies are built.

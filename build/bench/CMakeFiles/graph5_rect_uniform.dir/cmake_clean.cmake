@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph5_rect_uniform.dir/graph5_rect_uniform.cpp.o"
+  "CMakeFiles/graph5_rect_uniform.dir/graph5_rect_uniform.cpp.o.d"
+  "graph5_rect_uniform"
+  "graph5_rect_uniform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph5_rect_uniform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for graph5_rect_uniform.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph6_rect_exp.dir/graph6_rect_exp.cpp.o"
+  "CMakeFiles/graph6_rect_exp.dir/graph6_rect_exp.cpp.o.d"
+  "graph6_rect_exp"
+  "graph6_rect_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph6_rect_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

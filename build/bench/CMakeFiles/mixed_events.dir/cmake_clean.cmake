@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_events.dir/mixed_events.cpp.o"
+  "CMakeFiles/mixed_events.dir/mixed_events.cpp.o.d"
+  "mixed_events"
+  "mixed_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rect_exp_centroid.dir/rect_exp_centroid.cpp.o"
+  "CMakeFiles/rect_exp_centroid.dir/rect_exp_centroid.cpp.o.d"
+  "rect_exp_centroid"
+  "rect_exp_centroid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rect_exp_centroid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

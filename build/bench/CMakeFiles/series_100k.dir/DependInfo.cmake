@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/series_100k.cpp" "bench/CMakeFiles/series_100k.dir/series_100k.cpp.o" "gcc" "bench/CMakeFiles/series_100k.dir/series_100k.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bench_support/CMakeFiles/segidx_bench_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/segidx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/srtree/CMakeFiles/segidx_srtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/skeleton/CMakeFiles/segidx_skeleton.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtree/CMakeFiles/segidx_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/segidx_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/segidx_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/segidx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

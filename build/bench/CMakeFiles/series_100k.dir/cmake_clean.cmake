@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/series_100k.dir/series_100k.cpp.o"
+  "CMakeFiles/series_100k.dir/series_100k.cpp.o.d"
+  "series_100k"
+  "series_100k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/series_100k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bulk_migration.dir/bulk_migration.cpp.o"
+  "CMakeFiles/bulk_migration.dir/bulk_migration.cpp.o.d"
+  "bulk_migration"
+  "bulk_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bulk_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

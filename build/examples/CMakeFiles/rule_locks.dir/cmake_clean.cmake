@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_locks.dir/rule_locks.cpp.o"
+  "CMakeFiles/rule_locks.dir/rule_locks.cpp.o.d"
+  "rule_locks"
+  "rule_locks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

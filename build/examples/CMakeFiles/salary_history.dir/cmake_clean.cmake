@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salary_history.dir/salary_history.cpp.o"
+  "CMakeFiles/salary_history.dir/salary_history.cpp.o.d"
+  "salary_history"
+  "salary_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salary_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatial_map.dir/spatial_map.cpp.o"
+  "CMakeFiles/spatial_map.dir/spatial_map.cpp.o.d"
+  "spatial_map"
+  "spatial_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatial_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segidx_bench_support.dir/experiment.cc.o"
+  "CMakeFiles/segidx_bench_support.dir/experiment.cc.o.d"
+  "libsegidx_bench_support.a"
+  "libsegidx_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segidx_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsegidx_bench_support.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segidx_common.dir/geometry.cc.o"
+  "CMakeFiles/segidx_common.dir/geometry.cc.o.d"
+  "CMakeFiles/segidx_common.dir/histogram.cc.o"
+  "CMakeFiles/segidx_common.dir/histogram.cc.o.d"
+  "CMakeFiles/segidx_common.dir/random.cc.o"
+  "CMakeFiles/segidx_common.dir/random.cc.o.d"
+  "CMakeFiles/segidx_common.dir/status.cc.o"
+  "CMakeFiles/segidx_common.dir/status.cc.o.d"
+  "libsegidx_common.a"
+  "libsegidx_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segidx_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segidx_core.dir/interval_index.cc.o"
+  "CMakeFiles/segidx_core.dir/interval_index.cc.o.d"
+  "libsegidx_core.a"
+  "libsegidx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segidx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

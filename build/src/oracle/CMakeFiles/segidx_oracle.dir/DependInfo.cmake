@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oracle/interval_tree.cc" "src/oracle/CMakeFiles/segidx_oracle.dir/interval_tree.cc.o" "gcc" "src/oracle/CMakeFiles/segidx_oracle.dir/interval_tree.cc.o.d"
+  "/root/repo/src/oracle/naive_oracle.cc" "src/oracle/CMakeFiles/segidx_oracle.dir/naive_oracle.cc.o" "gcc" "src/oracle/CMakeFiles/segidx_oracle.dir/naive_oracle.cc.o.d"
+  "/root/repo/src/oracle/priority_search_tree.cc" "src/oracle/CMakeFiles/segidx_oracle.dir/priority_search_tree.cc.o" "gcc" "src/oracle/CMakeFiles/segidx_oracle.dir/priority_search_tree.cc.o.d"
+  "/root/repo/src/oracle/segment_tree.cc" "src/oracle/CMakeFiles/segidx_oracle.dir/segment_tree.cc.o" "gcc" "src/oracle/CMakeFiles/segidx_oracle.dir/segment_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/segidx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segidx_oracle.dir/interval_tree.cc.o"
+  "CMakeFiles/segidx_oracle.dir/interval_tree.cc.o.d"
+  "CMakeFiles/segidx_oracle.dir/naive_oracle.cc.o"
+  "CMakeFiles/segidx_oracle.dir/naive_oracle.cc.o.d"
+  "CMakeFiles/segidx_oracle.dir/priority_search_tree.cc.o"
+  "CMakeFiles/segidx_oracle.dir/priority_search_tree.cc.o.d"
+  "CMakeFiles/segidx_oracle.dir/segment_tree.cc.o"
+  "CMakeFiles/segidx_oracle.dir/segment_tree.cc.o.d"
+  "libsegidx_oracle.a"
+  "libsegidx_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segidx_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segidx_rtree.dir/bulk_load.cc.o"
+  "CMakeFiles/segidx_rtree.dir/bulk_load.cc.o.d"
+  "CMakeFiles/segidx_rtree.dir/node.cc.o"
+  "CMakeFiles/segidx_rtree.dir/node.cc.o.d"
+  "CMakeFiles/segidx_rtree.dir/rtree.cc.o"
+  "CMakeFiles/segidx_rtree.dir/rtree.cc.o.d"
+  "CMakeFiles/segidx_rtree.dir/split.cc.o"
+  "CMakeFiles/segidx_rtree.dir/split.cc.o.d"
+  "libsegidx_rtree.a"
+  "libsegidx_rtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segidx_rtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

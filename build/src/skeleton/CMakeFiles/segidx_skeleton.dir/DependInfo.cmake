@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/skeleton/skeleton_index.cc" "src/skeleton/CMakeFiles/segidx_skeleton.dir/skeleton_index.cc.o" "gcc" "src/skeleton/CMakeFiles/segidx_skeleton.dir/skeleton_index.cc.o.d"
+  "/root/repo/src/skeleton/spec_builder.cc" "src/skeleton/CMakeFiles/segidx_skeleton.dir/spec_builder.cc.o" "gcc" "src/skeleton/CMakeFiles/segidx_skeleton.dir/spec_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtree/CMakeFiles/segidx_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/segidx_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/segidx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segidx_skeleton.dir/skeleton_index.cc.o"
+  "CMakeFiles/segidx_skeleton.dir/skeleton_index.cc.o.d"
+  "CMakeFiles/segidx_skeleton.dir/spec_builder.cc.o"
+  "CMakeFiles/segidx_skeleton.dir/spec_builder.cc.o.d"
+  "libsegidx_skeleton.a"
+  "libsegidx_skeleton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segidx_skeleton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

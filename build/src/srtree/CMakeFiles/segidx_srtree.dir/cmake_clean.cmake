@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segidx_srtree.dir/srtree.cc.o"
+  "CMakeFiles/segidx_srtree.dir/srtree.cc.o.d"
+  "libsegidx_srtree.a"
+  "libsegidx_srtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segidx_srtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for segidx_srtree.
+# This may be replaced when dependencies are built.

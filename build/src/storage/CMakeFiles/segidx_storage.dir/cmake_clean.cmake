@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segidx_storage.dir/block_device.cc.o"
+  "CMakeFiles/segidx_storage.dir/block_device.cc.o.d"
+  "CMakeFiles/segidx_storage.dir/pager.cc.o"
+  "CMakeFiles/segidx_storage.dir/pager.cc.o.d"
+  "libsegidx_storage.a"
+  "libsegidx_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segidx_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsegidx_storage.a"
+)

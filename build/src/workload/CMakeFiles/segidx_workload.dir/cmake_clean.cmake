@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segidx_workload.dir/datasets.cc.o"
+  "CMakeFiles/segidx_workload.dir/datasets.cc.o.d"
+  "libsegidx_workload.a"
+  "libsegidx_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segidx_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segidx_common_test.dir/geometry_test.cc.o"
+  "CMakeFiles/segidx_common_test.dir/geometry_test.cc.o.d"
+  "CMakeFiles/segidx_common_test.dir/histogram_test.cc.o"
+  "CMakeFiles/segidx_common_test.dir/histogram_test.cc.o.d"
+  "CMakeFiles/segidx_common_test.dir/random_test.cc.o"
+  "CMakeFiles/segidx_common_test.dir/random_test.cc.o.d"
+  "CMakeFiles/segidx_common_test.dir/status_test.cc.o"
+  "CMakeFiles/segidx_common_test.dir/status_test.cc.o.d"
+  "segidx_common_test"
+  "segidx_common_test.pdb"
+  "segidx_common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segidx_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segidx_integration_test.dir/corruption_test.cc.o"
+  "CMakeFiles/segidx_integration_test.dir/corruption_test.cc.o.d"
+  "CMakeFiles/segidx_integration_test.dir/experiment_test.cc.o"
+  "CMakeFiles/segidx_integration_test.dir/experiment_test.cc.o.d"
+  "CMakeFiles/segidx_integration_test.dir/fuzz_test.cc.o"
+  "CMakeFiles/segidx_integration_test.dir/fuzz_test.cc.o.d"
+  "CMakeFiles/segidx_integration_test.dir/interval_index_test.cc.o"
+  "CMakeFiles/segidx_integration_test.dir/interval_index_test.cc.o.d"
+  "CMakeFiles/segidx_integration_test.dir/workload_test.cc.o"
+  "CMakeFiles/segidx_integration_test.dir/workload_test.cc.o.d"
+  "segidx_integration_test"
+  "segidx_integration_test.pdb"
+  "segidx_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segidx_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

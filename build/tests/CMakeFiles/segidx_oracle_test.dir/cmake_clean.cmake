@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segidx_oracle_test.dir/oracle_test.cc.o"
+  "CMakeFiles/segidx_oracle_test.dir/oracle_test.cc.o.d"
+  "segidx_oracle_test"
+  "segidx_oracle_test.pdb"
+  "segidx_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segidx_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

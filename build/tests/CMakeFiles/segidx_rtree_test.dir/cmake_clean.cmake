@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segidx_rtree_test.dir/bulk_load_test.cc.o"
+  "CMakeFiles/segidx_rtree_test.dir/bulk_load_test.cc.o.d"
+  "CMakeFiles/segidx_rtree_test.dir/node_test.cc.o"
+  "CMakeFiles/segidx_rtree_test.dir/node_test.cc.o.d"
+  "CMakeFiles/segidx_rtree_test.dir/rtree_test.cc.o"
+  "CMakeFiles/segidx_rtree_test.dir/rtree_test.cc.o.d"
+  "CMakeFiles/segidx_rtree_test.dir/split_test.cc.o"
+  "CMakeFiles/segidx_rtree_test.dir/split_test.cc.o.d"
+  "segidx_rtree_test"
+  "segidx_rtree_test.pdb"
+  "segidx_rtree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segidx_rtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

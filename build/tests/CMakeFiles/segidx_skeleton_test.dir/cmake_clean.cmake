@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segidx_skeleton_test.dir/coalesce_test.cc.o"
+  "CMakeFiles/segidx_skeleton_test.dir/coalesce_test.cc.o.d"
+  "CMakeFiles/segidx_skeleton_test.dir/skeleton_test.cc.o"
+  "CMakeFiles/segidx_skeleton_test.dir/skeleton_test.cc.o.d"
+  "CMakeFiles/segidx_skeleton_test.dir/spec_builder_test.cc.o"
+  "CMakeFiles/segidx_skeleton_test.dir/spec_builder_test.cc.o.d"
+  "segidx_skeleton_test"
+  "segidx_skeleton_test.pdb"
+  "segidx_skeleton_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segidx_skeleton_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segidx_srtree_test.dir/policy_test.cc.o"
+  "CMakeFiles/segidx_srtree_test.dir/policy_test.cc.o.d"
+  "CMakeFiles/segidx_srtree_test.dir/srtree_test.cc.o"
+  "CMakeFiles/segidx_srtree_test.dir/srtree_test.cc.o.d"
+  "segidx_srtree_test"
+  "segidx_srtree_test.pdb"
+  "segidx_srtree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segidx_srtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

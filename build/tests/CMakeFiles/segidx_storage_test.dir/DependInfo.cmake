@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/block_device_test.cc" "tests/CMakeFiles/segidx_storage_test.dir/block_device_test.cc.o" "gcc" "tests/CMakeFiles/segidx_storage_test.dir/block_device_test.cc.o.d"
+  "/root/repo/tests/coding_test.cc" "tests/CMakeFiles/segidx_storage_test.dir/coding_test.cc.o" "gcc" "tests/CMakeFiles/segidx_storage_test.dir/coding_test.cc.o.d"
+  "/root/repo/tests/pager_test.cc" "tests/CMakeFiles/segidx_storage_test.dir/pager_test.cc.o" "gcc" "tests/CMakeFiles/segidx_storage_test.dir/pager_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/segidx_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/segidx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segidx_storage_test.dir/block_device_test.cc.o"
+  "CMakeFiles/segidx_storage_test.dir/block_device_test.cc.o.d"
+  "CMakeFiles/segidx_storage_test.dir/coding_test.cc.o"
+  "CMakeFiles/segidx_storage_test.dir/coding_test.cc.o.d"
+  "CMakeFiles/segidx_storage_test.dir/pager_test.cc.o"
+  "CMakeFiles/segidx_storage_test.dir/pager_test.cc.o.d"
+  "segidx_storage_test"
+  "segidx_storage_test.pdb"
+  "segidx_storage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segidx_storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/segidx_common_test[1]_include.cmake")
+include("/root/repo/build/tests/segidx_storage_test[1]_include.cmake")
+include("/root/repo/build/tests/segidx_rtree_test[1]_include.cmake")
+include("/root/repo/build/tests/segidx_srtree_test[1]_include.cmake")
+include("/root/repo/build/tests/segidx_skeleton_test[1]_include.cmake")
+include("/root/repo/build/tests/segidx_oracle_test[1]_include.cmake")
+include("/root/repo/build/tests/segidx_integration_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segidx.dir/segidx_cli.cpp.o"
+  "CMakeFiles/segidx.dir/segidx_cli.cpp.o.d"
+  "segidx"
+  "segidx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segidx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -194,7 +194,19 @@ Status IntervalIndex::Flush() {
   return pager_->Checkpoint();
 }
 
-Status IntervalIndex::CheckInvariants() { return tree_->CheckInvariants(); }
+Status IntervalIndex::CheckInvariants() {
+  // The tree's own quick check first: it exercises the non-public
+  // entries-seen accounting the walker below does not repeat.
+  SEGIDX_RETURN_IF_ERROR(tree_->CheckInvariants());
+  SEGIDX_ASSIGN_OR_RETURN(check::CheckReport report, CheckStructure());
+  return report.ToStatus();
+}
+
+Result<check::CheckReport> IntervalIndex::CheckStructure(
+    const check::CheckOptions& options) {
+  check::StructureChecker checker(tree_.get(), options);
+  return checker.Check();
+}
 
 uint64_t IntervalIndex::size() const {
   if (skeleton_ != nullptr && !skeleton_->built()) {

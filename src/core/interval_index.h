@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "check/structure_checker.h"
 #include "common/geometry.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -115,10 +116,23 @@ class IntervalIndex {
   // Persists tree metadata and all dirty pages; the index stays usable.
   Status Flush();
 
-  // Deep structural validation (tests / debugging).
+  // Deep structural validation (tests / debugging): runs the full
+  // StructureChecker walk with defaults appropriate for this index kind
+  // (containment, spanning links and quotas, page accounting; tightness and
+  // strict spanning placement off) and returns the first violation.
   Status CheckInvariants();
 
+  // Full structural validation with caller-chosen options, returning every
+  // violation. See check/structure_checker.h for the invariant set.
+  Result<check::CheckReport> CheckStructure(
+      const check::CheckOptions& options = {});
+
   IndexKind kind() const { return kind_; }
+  // Skeleton kinds: true while the distribution sample is still buffering
+  // (records live in memory, not in the tree). Always false otherwise.
+  bool skeleton_building() const {
+    return skeleton_ != nullptr && !skeleton_->built();
+  }
   uint64_t size() const;
   int height() const { return tree_->height(); }
   // Total bytes of index extents ever allocated (file high-water mark).

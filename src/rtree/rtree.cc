@@ -1012,30 +1012,54 @@ Status RTree::CheckInvariants(bool expect_min_fill) {
                              root_level_, expect_min_fill, &entries_seen);
 }
 
+namespace {
+
+// "page 17 (size class 2)" for invariant-violation messages.
+std::string PageName(storage::PageId id) {
+  return "page " + std::to_string(id.block) + " (size class " +
+         std::to_string(id.size_class) + ")";
+}
+
+}  // namespace
+
 Status RTree::CheckNodeInvariants(storage::PageId id, const Rect& region,
                                   bool is_root, int expected_level,
                                   bool expect_min_fill,
                                   uint64_t* entries_seen) {
   SEGIDX_ASSIGN_OR_RETURN(Node node, ReadNode(id));
   if (node.level != expected_level) {
-    return InternalError("node level mismatch: tree is unbalanced");
+    return InternalError("tree is unbalanced: " + PageName(id) +
+                         " has level " + std::to_string(node.level) +
+                         " where level " + std::to_string(expected_level) +
+                         " was expected");
   }
 
   if (node.is_leaf()) {
     if (node.records.size() > LeafCapacity()) {
-      return InternalError("leaf overflow");
+      return InternalError("leaf overflow on " + PageName(id) + ": " +
+                           std::to_string(node.records.size()) +
+                           " records exceed capacity " +
+                           std::to_string(LeafCapacity()));
     }
     if (expect_min_fill && !is_root) {
       const size_t min_fill = static_cast<size_t>(
           options_.min_fill_fraction * static_cast<double>(LeafCapacity()));
       if (node.records.size() < std::max<size_t>(1, min_fill)) {
-        return InternalError("leaf below minimum fill");
+        return InternalError("leaf " + PageName(id) + " below minimum fill: " +
+                             std::to_string(node.records.size()) + " < " +
+                             std::to_string(std::max<size_t>(1, min_fill)));
       }
     }
     for (const LeafEntry& e : node.records) {
-      if (!e.rect.valid()) return InternalError("invalid leaf rect");
+      if (!e.rect.valid()) {
+        return InternalError("invalid leaf rect on " + PageName(id) +
+                             " for tid " + std::to_string(e.tid));
+      }
       if (root_region_valid_ && !region.Contains(e.rect)) {
-        return InternalError("leaf record outside its node region");
+        return InternalError("leaf record outside its node region on " +
+                             PageName(id) + ": tid " + std::to_string(e.tid) +
+                             " rect " + e.rect.ToString() +
+                             " escapes region " + region.ToString());
       }
     }
     *entries_seen += node.records.size();
@@ -1043,35 +1067,64 @@ Status RTree::CheckNodeInvariants(storage::PageId id, const Rect& region,
   }
 
   if (node.branches.empty() && !is_root) {
-    return InternalError("non-leaf node without branches");
+    return InternalError("non-leaf " + PageName(id) + " has no branches");
   }
   if (node.branches.size() > BranchCapacity(node.level)) {
-    return InternalError("branch count exceeds capacity");
+    return InternalError("branch count on " + PageName(id) +
+                         " exceeds capacity: " +
+                         std::to_string(node.branches.size()) + " > " +
+                         std::to_string(BranchCapacity(node.level)));
   }
   if (node.SerializedBytes() > NodeBytes(node.level)) {
-    return InternalError("non-leaf node exceeds its extent bytes");
+    return InternalError("non-leaf " + PageName(id) +
+                         " exceeds its extent bytes: " +
+                         std::to_string(node.SerializedBytes()) + " > " +
+                         std::to_string(NodeBytes(node.level)));
   }
   if (!options_.enable_spanning && !node.spanning.empty()) {
-    return InternalError("spanning records present in a plain R-Tree");
+    return InternalError("spanning records present in a plain R-Tree on " +
+                         PageName(id));
+  }
+  if (expect_min_fill) {
+    // Guttman: every non-root node holds at least m entries, and a non-leaf
+    // root has at least two children. Splits size m from the branch
+    // capacity at this node's level.
+    const size_t min_fill =
+        is_root ? 2
+                : std::max<size_t>(
+                      1, static_cast<size_t>(
+                             options_.min_fill_fraction *
+                             static_cast<double>(BranchCapacity(node.level))));
+    if (node.branches.size() < min_fill) {
+      return InternalError("non-leaf " + PageName(id) +
+                           " below minimum fill: " +
+                           std::to_string(node.branches.size()) + " < " +
+                           std::to_string(min_fill) + " branches");
+    }
   }
 
   for (const SpanningEntry& s : node.spanning) {
     if (!region.Contains(s.rect)) {
-      return InternalError("spanning record not enclosed by its node");
+      return InternalError("spanning record not enclosed by its node on " +
+                           PageName(id) + ": tid " + std::to_string(s.tid));
     }
     const int branch = node.FindBranch(storage::PageId::Decode(s.linked_child));
     if (branch < 0) {
-      return InternalError("spanning record linked to a missing branch");
+      return InternalError("spanning record linked to a missing branch on " +
+                           PageName(id) + ": tid " + std::to_string(s.tid));
     }
     if (!s.rect.SpansRegion(node.branches[branch].rect)) {
-      return InternalError("spanning record does not span its linked branch");
+      return InternalError(
+          "spanning record does not span its linked branch on " +
+          PageName(id) + ": tid " + std::to_string(s.tid));
     }
     *entries_seen += 1;
   }
 
   for (const BranchEntry& b : node.branches) {
     if (!region.Contains(b.rect)) {
-      return InternalError("branch region escapes its parent region");
+      return InternalError("branch region escapes its parent region on " +
+                           PageName(id) + ": child " + PageName(b.child));
     }
     SEGIDX_RETURN_IF_ERROR(CheckNodeInvariants(b.child, b.rect,
                                                /*is_root=*/false,

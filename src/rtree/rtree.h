@@ -168,10 +168,14 @@ class RTree {
   // Returns the number of merges performed.
   Result<int> CoalesceSparseLeaves(int max_candidates);
 
-  // Verifies structural invariants over the whole tree; returns the first
-  // violation as a non-OK status. `expect_min_fill` additionally demands
-  // Guttman's minimum fill in every non-root node (valid only for trees
-  // grown purely by splits).
+  // Quick structural self-check: walks the whole tree and returns the first
+  // violation as a non-OK status naming the offending page. `expect_min_fill`
+  // additionally demands Guttman's minimum fill in every non-root node —
+  // leaves and non-leaf nodes alike (valid only for trees grown purely by
+  // splits; skeleton trees and coalesced trees violate it by design).
+  // The exhaustive multi-violation validator lives in
+  // check/structure_checker.h; this member check remains for callers below
+  // the check/ layer.
   Status CheckInvariants(bool expect_min_fill = false);
 
   // Persists root/height/count/options into the pager's metadata area.
@@ -204,6 +208,21 @@ class RTree {
 
   // Total index nodes, by level (level 0 first); walks the tree.
   Result<std::vector<uint64_t>> CountNodesPerLevel();
+
+  // --- read-only introspection (structure checker, tools) ----------------
+
+  // Page id of the root node.
+  storage::PageId root() const { return root_; }
+  // Region enclosing the whole tree; meaningful when root_region_valid().
+  const Rect& root_region() const { return root_region_; }
+  bool root_region_valid() const { return root_region_valid_; }
+  // Reads and deserializes one node (checksum-verified). Counts as a node
+  // access for the active operation's statistics.
+  Result<Node> ReadNode(storage::PageId id);
+  // Extent size class / byte size a node at `level` is expected to use
+  // (Section 2.1.2 doubling, capped at the pager's maximum size class).
+  uint8_t SizeClassForLevel(int level) const;
+  size_t NodeBytes(int level) const;
 
   // Writes an indented human-readable dump of the tree structure to `os`
   // (regions, entry counts, spanning records), descending at most
@@ -269,10 +288,7 @@ class RTree {
   // Restores tree state from the pager's metadata area.
   Status LoadMeta();
 
-  Result<Node> ReadNode(storage::PageId id);
   Status WriteNode(storage::PageId id, const Node& node);
-  uint8_t SizeClassForLevel(int level) const;
-  size_t NodeBytes(int level) const;
   // Whether `node` (not yet written) exceeds its extent or branch quota
   // and must be split.
   bool NonLeafOverflowed(const Node& node) const;

@@ -115,7 +115,9 @@ Status Pager::WriteSuperblock() {
   SEGIDX_CHECK_LE(user_meta_.size(), kUserMetaCapacity);
   EncodeU16(buf.data() + off, static_cast<uint16_t>(user_meta_.size()));
   off += 2;
-  std::memcpy(buf.data() + off, user_meta_.data(), user_meta_.size());
+  if (!user_meta_.empty()) {  // .data() may be null when empty.
+    std::memcpy(buf.data() + off, user_meta_.data(), user_meta_.size());
+  }
   return device_->Write(0, buf.data(), buf.size());
 }
 
@@ -265,6 +267,36 @@ Status Pager::SetUserMeta(const uint8_t* data, size_t n) {
   }
   user_meta_.assign(data, data + n);
   return Status::OK();
+}
+
+Result<std::vector<PageId>> Pager::FreeExtents() const {
+  std::vector<PageId> out;
+  for (uint8_t sc = 0; sc < free_heads_.size(); ++sc) {
+    uint32_t block = free_heads_[sc];
+    // A well-formed list holds at most next_block_ extents; anything longer
+    // is a cycle.
+    uint64_t steps = 0;
+    while (block != kInvalidBlock) {
+      if (block == 0 || block >= next_block_) {
+        return CorruptionError("free list of size class " +
+                               std::to_string(sc) +
+                               " references out-of-range block " +
+                               std::to_string(block));
+      }
+      if (++steps > next_block_) {
+        return CorruptionError("free list of size class " +
+                               std::to_string(sc) + " is cyclic");
+      }
+      PageId id;
+      id.block = block;
+      id.size_class = sc;
+      out.push_back(id);
+      uint8_t link[4];
+      SEGIDX_RETURN_IF_ERROR(device_->Read(BlockOffset(block), 4, link));
+      block = DecodeU32(link);
+    }
+  }
+  return out;
 }
 
 size_t Pager::pinned_frames() const {

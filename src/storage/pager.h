@@ -161,6 +161,12 @@ class Pager {
   size_t pinned_frames() const;
   size_t cached_frames() const { return frames_.size(); }
 
+  // Every extent currently on a free list, by walking the per-size-class
+  // lists on the device. Used by the structure checker's page-accounting
+  // pass: reachable extents + free extents must exactly tile the allocated
+  // block range. Fails with kCorruption on a cyclic or out-of-range list.
+  Result<std::vector<PageId>> FreeExtents() const;
+
  private:
   struct Frame {
     std::vector<uint8_t> bytes;

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "storage/block_device.h"
+#include "storage/coding.h"
 
 namespace segidx::storage {
 namespace {
@@ -277,6 +278,67 @@ TEST(PageHandleTest, MoveTransfersPin) {
   moved.Release();
   EXPECT_EQ(pager->pinned_frames(), 0u);
   moved.Release();  // Idempotent.
+}
+
+TEST(PagerTest, FreeExtentsEnumeratesEveryFreeList) {
+  auto pager = MakeMemoryPager(PagerOptions());
+  EXPECT_TRUE(pager->FreeExtents()->empty());
+
+  PageId a, b, c;
+  {
+    auto pa = pager->Allocate(0);
+    auto pb = pager->Allocate(0);
+    auto pc = pager->Allocate(2);
+    a = pa->id();
+    b = pb->id();
+    c = pc->id();
+  }
+  ASSERT_TRUE(pager->Free(a).ok());
+  ASSERT_TRUE(pager->Free(c).ok());
+  auto free_extents = pager->FreeExtents();
+  ASSERT_TRUE(free_extents.ok()) << free_extents.status().ToString();
+  ASSERT_EQ(free_extents->size(), 2u);
+  bool saw_a = false, saw_c = false;
+  for (const PageId& id : *free_extents) {
+    saw_a = saw_a || id == a;
+    saw_c = saw_c || id == c;
+    EXPECT_FALSE(id == b);
+  }
+  EXPECT_TRUE(saw_a && saw_c);
+}
+
+// Scribbles the next-link of a freed extent (its first four bytes on the
+// device) and expects FreeExtents to reject the list as corrupt.
+void CorruptFreeLink(uint32_t link_target) {
+  auto device = std::make_unique<MemoryBlockDevice>();
+  MemoryBlockDevice* raw = device.get();
+  auto created = Pager::Create(std::move(device), PagerOptions());
+  ASSERT_TRUE(created.ok());
+  auto pager = std::move(created).value();
+
+  PageId a;
+  {
+    auto pa = pager->Allocate(0);
+    ASSERT_TRUE(pa.ok());
+    a = pa->id();
+  }
+  ASSERT_TRUE(pager->Free(a).ok());
+  uint8_t link[4];
+  EncodeU32(link, link_target);
+  ASSERT_TRUE(
+      raw->Write(static_cast<uint64_t>(a.block) * 1024, link, 4).ok());
+
+  const auto free_extents = pager->FreeExtents();
+  ASSERT_FALSE(free_extents.ok());
+  EXPECT_EQ(free_extents.status().code(), StatusCode::kCorruption);
+}
+
+TEST(PagerTest, FreeExtentsRejectsOutOfRangeLink) {
+  CorruptFreeLink(500000);  // Past the allocation high-water mark.
+}
+
+TEST(PagerTest, FreeExtentsRejectsCyclicList) {
+  CorruptFreeLink(1);  // The freed extent is block 1: a self-loop.
 }
 
 }  // namespace

@@ -7,8 +7,13 @@
 //   segidx query  --file=idx --rect=xlo:xhi:ylo:yhi [--limit=N]
 //   segidx stats  --file=idx [--dump=DEPTH]
 //   segidx verify --file=idx
+//   segidx check  --file=idx [--min-fill=1] [--tight=1] [--strict=1]
+//                 [--no-quota=1] [--no-pages=1] [--max-violations=N]
 //
-// Exit codes: 0 success, 1 runtime error, 2 usage error.
+// `verify` stops at the first violation; `check` runs the full
+// StructureChecker walk and prints every violation plus walk statistics.
+//
+// Exit codes: 0 success, 1 runtime error / violations found, 2 usage error.
 
 #include <cstdio>
 #include <cstdlib>
@@ -31,12 +36,17 @@ using core::IntervalIndex;
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: segidx <create|insert|query|stats|verify> --file=PATH ...\n"
+      "usage: segidx <create|insert|query|stats|verify|check> --file=PATH "
+      "...\n"
       "  create: --kind=rtree|srtree|skeleton-rtree|skeleton-srtree\n"
       "          [--expected=N] [--sample=N] [--domain=xlo:xhi:ylo:yhi]\n"
       "  insert: [--input=CSV]  rows: tid,xlo,xhi[,ylo,yhi]\n"
       "  query:  --rect=xlo:xhi:ylo:yhi [--limit=N]\n"
-      "  stats:  [--dump=DEPTH]  (print tree structure to DEPTH levels)\n");
+      "  stats:  [--dump=DEPTH]  (print tree structure to DEPTH levels)\n"
+      "  verify: quick check, stops at the first violation\n"
+      "  check:  full structural report  [--min-fill=1] [--tight=1]\n"
+      "          [--strict=1] [--no-quota=1] [--no-pages=1]\n"
+      "          [--max-violations=N]\n");
   return 2;
 }
 
@@ -287,6 +297,37 @@ int CmdVerify(const Args& args, const std::string& file) {
   return 0;
 }
 
+int CmdCheck(const Args& args, const std::string& file) {
+  auto opened = IntervalIndex::OpenFromDisk(file, OptionsFrom(args));
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  check::CheckOptions options;
+  auto flag = [&args](const char* key) {
+    const auto v = args.Get(key);
+    return v.has_value() && *v != "0";
+  };
+  options.expect_min_fill = flag("min-fill");
+  options.check_mbr_tightness = flag("tight");
+  options.strict_spanning_placement = flag("strict");
+  options.check_spanning_quota = !flag("no-quota");
+  options.check_page_accounting = !flag("no-pages");
+  if (auto v = args.Get("max-violations")) {
+    options.max_violations = std::stoull(*v);
+  }
+
+  auto report = (*opened)->CheckStructure(options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "check failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(report->ToString().c_str(), stdout);
+  return report->ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -300,5 +341,6 @@ int main(int argc, char** argv) {
   if (args->command == "query") return CmdQuery(*args, *file);
   if (args->command == "stats") return CmdStats(*args, *file);
   if (args->command == "verify") return CmdVerify(*args, *file);
+  if (args->command == "check") return CmdCheck(*args, *file);
   return Usage();
 }

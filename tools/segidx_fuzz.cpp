@@ -1,0 +1,241 @@
+// Differential fuzz driver: random interleaved inserts / deletes / searches
+// against the naive oracle, with a full StructureChecker pass (including the
+// cut-remnant tiling check against the live record set) every N operations.
+//
+//   segidx_fuzz [--kind=all|rtree|srtree|skeleton-rtree|skeleton-srtree]
+//               [--ops=N] [--seed=S] [--check-every=N] [--verbose=1]
+//
+// Differences from the gtest fuzz suite (tests/fuzz_test.cc): this driver is
+// a standalone binary meant for long unattended runs (millions of ops,
+// sanitizer builds) and it hands the checker the expected record set on
+// every periodic pass, which the in-test cadence only affords at the end.
+//
+// Exit codes: 0 all runs clean, 1 divergence or invariant violation,
+// 2 usage error.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "core/interval_index.h"
+#include "oracle/naive_oracle.h"
+
+namespace {
+
+using namespace segidx;
+using core::IndexKind;
+using core::IndexOptions;
+using core::IntervalIndex;
+using oracle::NaiveOracle;
+
+struct FuzzConfig {
+  uint64_t ops = 20000;
+  uint64_t seed = 1;
+  uint64_t check_every = 1000;
+  bool verbose = false;
+};
+
+// Mirrors tests/fuzz_test.cc: points, 1-D segments, domain-crossing slabs,
+// and full rectangles, partly outside the skeleton domain on purpose.
+Rect RandomShape(Rng& rng) {
+  const double roll = rng.NextDouble();
+  const Coord x = rng.Uniform(-1000, 101000);
+  const Coord y = rng.Uniform(-1000, 101000);
+  if (roll < 0.25) return Rect::Point(x, y);
+  if (roll < 0.5) {
+    return Rect::Segment1D(x, x + rng.Exponential(8000, 120000), y);
+  }
+  if (roll < 0.55) {
+    return Rect(-5000, 105000, y, y + rng.Uniform(0, 50));
+  }
+  return Rect(x, x + rng.Exponential(3000, 60000), y,
+              y + rng.Exponential(3000, 60000));
+}
+
+Rect RandomQuery(Rng& rng) {
+  const double roll = rng.NextDouble();
+  const Coord x = rng.Uniform(0, 100000);
+  const Coord y = rng.Uniform(0, 100000);
+  if (roll < 0.3) return Rect::Point(x, y);
+  if (roll < 0.6) {
+    return Rect(x, x + rng.Uniform(0, 3000), y, y + rng.Uniform(0, 3000));
+  }
+  if (roll < 0.8) return Rect(x, x + 10, -1e6, 1e6);
+  return Rect(-1e6, 1e6, y, y + 10);
+}
+
+// Full checker pass; the record-tiling cross-check needs the records to be
+// in the tree, so it is withheld while a skeleton index is still buffering.
+bool RunChecker(IntervalIndex* index,
+                const std::vector<std::pair<Rect, TupleId>>& live,
+                uint64_t step) {
+  check::CheckOptions options;
+  if (!index->skeleton_building()) options.expected_records = &live;
+  auto report = index->CheckStructure(options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "[op %llu] checker failed to run: %s\n",
+                 static_cast<unsigned long long>(step),
+                 report.status().ToString().c_str());
+    return false;
+  }
+  if (!report->ok()) {
+    std::fprintf(stderr, "[op %llu] structural violations:\n%s",
+                 static_cast<unsigned long long>(step),
+                 report->ToString().c_str());
+    return false;
+  }
+  return true;
+}
+
+bool RunOne(IndexKind kind, const FuzzConfig& config) {
+  Rng rng(config.seed * 1000003 + static_cast<uint64_t>(kind));
+  IndexOptions options;
+  options.skeleton.expected_tuples = 3000;
+  options.skeleton.prediction_sample = 200;
+  options.skeleton.coalesce_interval = 300;
+
+  auto created = IntervalIndex::CreateInMemory(kind, options);
+  if (!created.ok()) {
+    std::fprintf(stderr, "create failed: %s\n",
+                 created.status().ToString().c_str());
+    return false;
+  }
+  auto index = std::move(created).value();
+  NaiveOracle oracle;
+  std::vector<std::pair<Rect, TupleId>> live;
+  TupleId next_tid = 0;
+  const bool can_delete = kind == IndexKind::kRTree;
+
+  std::printf("%s: %llu ops, seed %llu, full check every %llu\n",
+              core::IndexKindName(kind),
+              static_cast<unsigned long long>(config.ops),
+              static_cast<unsigned long long>(config.seed),
+              static_cast<unsigned long long>(config.check_every));
+
+  for (uint64_t step = 0; step < config.ops; ++step) {
+    const double roll = rng.NextDouble();
+    if (roll < 0.70 || live.empty()) {
+      const Rect r = RandomShape(rng);
+      if (auto st = index->Insert(r, next_tid); !st.ok()) {
+        std::fprintf(stderr, "[op %llu] insert failed: %s\n",
+                     static_cast<unsigned long long>(step),
+                     st.ToString().c_str());
+        return false;
+      }
+      oracle.Insert(r, next_tid);
+      live.emplace_back(r, next_tid);
+      ++next_tid;
+    } else if (roll < 0.78 && can_delete) {
+      const size_t pick =
+          static_cast<size_t>(rng.UniformInt(0, live.size() - 1));
+      if (auto st = index->Delete(live[pick].first, live[pick].second);
+          !st.ok()) {
+        std::fprintf(stderr, "[op %llu] delete failed: %s\n",
+                     static_cast<unsigned long long>(step),
+                     st.ToString().c_str());
+        return false;
+      }
+      oracle.Delete(live[pick].first, live[pick].second);
+      live.erase(live.begin() + static_cast<ptrdiff_t>(pick));
+    } else {
+      const Rect q = RandomQuery(rng);
+      std::vector<TupleId> tids;
+      if (auto st = index->SearchTuples(q, &tids); !st.ok()) {
+        std::fprintf(stderr, "[op %llu] search failed: %s\n",
+                     static_cast<unsigned long long>(step),
+                     st.ToString().c_str());
+        return false;
+      }
+      std::sort(tids.begin(), tids.end());
+      if (tids != oracle.Search(q)) {
+        std::fprintf(stderr,
+                     "[op %llu] DIVERGENCE from oracle on query %s "
+                     "(index %zu tuples, oracle %zu)\n",
+                     static_cast<unsigned long long>(step),
+                     q.ToString().c_str(), tids.size(),
+                     oracle.Search(q).size());
+        return false;
+      }
+    }
+
+    if (config.check_every > 0 && (step + 1) % config.check_every == 0) {
+      if (!RunChecker(index.get(), live, step)) return false;
+      if (config.verbose) {
+        std::printf("  op %llu: ok (%zu live records)\n",
+                    static_cast<unsigned long long>(step), live.size());
+      }
+    }
+  }
+
+  if (auto st = index->Finalize(); !st.ok()) {
+    std::fprintf(stderr, "finalize failed: %s\n", st.ToString().c_str());
+    return false;
+  }
+  if (!RunChecker(index.get(), live, config.ops)) return false;
+  std::printf("  clean: %zu live records (index reports %llu)\n", live.size(),
+              static_cast<unsigned long long>(index->size()));
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FuzzConfig config;
+  std::string kind_name = "all";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const size_t eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
+      std::fprintf(stderr,
+                   "usage: segidx_fuzz [--kind=all|rtree|srtree|"
+                   "skeleton-rtree|skeleton-srtree] [--ops=N] [--seed=S] "
+                   "[--check-every=N] [--verbose=1]\n");
+      return 2;
+    }
+    const std::string key = arg.substr(2, eq - 2);
+    const std::string value = arg.substr(eq + 1);
+    if (key == "kind") {
+      kind_name = value;
+    } else if (key == "ops") {
+      config.ops = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "seed") {
+      config.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "check-every") {
+      config.check_every = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "verbose") {
+      config.verbose = value != "0";
+    } else {
+      std::fprintf(stderr, "unknown flag --%s\n", key.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<IndexKind> kinds;
+  if (kind_name == "all") {
+    kinds = {IndexKind::kRTree, IndexKind::kSRTree, IndexKind::kSkeletonRTree,
+             IndexKind::kSkeletonSRTree};
+  } else if (kind_name == "rtree") {
+    kinds = {IndexKind::kRTree};
+  } else if (kind_name == "srtree") {
+    kinds = {IndexKind::kSRTree};
+  } else if (kind_name == "skeleton-rtree") {
+    kinds = {IndexKind::kSkeletonRTree};
+  } else if (kind_name == "skeleton-srtree") {
+    kinds = {IndexKind::kSkeletonSRTree};
+  } else {
+    std::fprintf(stderr, "unknown kind: %s\n", kind_name.c_str());
+    return 2;
+  }
+
+  for (const IndexKind kind : kinds) {
+    if (!RunOne(kind, config)) return 1;
+  }
+  std::printf("all runs clean\n");
+  return 0;
+}

@@ -2,7 +2,8 @@
 // reproduces one of the paper's Graphs 1-6: it builds all four index types
 // over the graph's dataset, sweeps the 13 query aspect ratios, and prints
 // the paper-style series table plus build statistics. A CSV with the same
-// series is written next to the working directory.
+// series is written to results/ under the working directory (gitignored —
+// generated artifacts stay out of the repository).
 
 #ifndef SEGIDX_BENCH_GRAPH_MAIN_H_
 #define SEGIDX_BENCH_GRAPH_MAIN_H_
@@ -33,7 +34,7 @@ inline int RunGraphMain(workload::DatasetKind kind, const char* title,
   std::cout << "\n";
   PrintSeriesTable(config, *results, std::cout);
   PrintBuildTable(config, *results, std::cout);
-  const std::string csv = std::string(csv_name) + ".csv";
+  const std::string csv = "results/" + std::string(csv_name) + ".csv";
   if (Status st = WriteSeriesCsv(csv, config, *results); !st.ok()) {
     std::fprintf(stderr, "csv write failed: %s\n", st.ToString().c_str());
   } else {

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <system_error>
 
 #include "common/logging.h"
 
@@ -138,6 +140,16 @@ void PrintBuildTable(const ExperimentConfig& config,
 
 Status WriteSeriesCsv(const std::string& path, const ExperimentConfig& config,
                       const std::vector<SeriesResult>& results) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    if (ec) {
+      return IoError("cannot create " + parent.string() + ": " +
+                     ec.message());
+    }
+  }
   std::ofstream out(path);
   if (!out) return IoError("cannot open " + path);
   out << "qar,log10_qar";

@@ -148,6 +148,21 @@ Status IntervalIndex::Search(const Rect& query,
   return tree_->Search(query, out, nodes_accessed);
 }
 
+Status IntervalIndex::SearchBatch(const std::vector<Rect>& queries,
+                                  std::vector<exec::BatchResult>* results,
+                                  int num_threads) {
+  // Workers search the tree directly, so a buffering skeleton must build
+  // its tree first (Search would do the same one query at a time).
+  SEGIDX_RETURN_IF_ERROR(Finalize());
+  const int threads = std::clamp(num_threads, 1, 64);
+  if (engine_ == nullptr || engine_->num_threads() != threads) {
+    exec::QueryEngineOptions opts;
+    opts.num_threads = threads;
+    engine_ = std::make_unique<exec::QueryEngine>(tree_.get(), opts);
+  }
+  return engine_->SearchBatch(queries, results);
+}
+
 Status IntervalIndex::SearchTuples(const Rect& query,
                                    std::vector<TupleId>* out,
                                    uint64_t* nodes_accessed) {

@@ -29,6 +29,7 @@
 #include "common/geometry.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "exec/query_engine.h"
 #include "rtree/bulk_load.h"
 #include "rtree/rtree.h"
 #include "skeleton/skeleton_index.h"
@@ -100,6 +101,16 @@ class IntervalIndex {
   Status SearchTuples(const Rect& query, std::vector<TupleId>* out,
                       uint64_t* nodes_accessed = nullptr);
 
+  // Runs a batch of queries on a pool of `num_threads` worker threads
+  // (clamped to >= 1). Results come back in query order, identical to
+  // issuing each query through Search() serially. A still-buffering
+  // skeleton index is finalized first (same auto-finalize as Search).
+  // The worker pool is created on first use and kept for subsequent
+  // batches with the same thread count. Must not overlap with mutation.
+  Status SearchBatch(const std::vector<Rect>& queries,
+                     std::vector<exec::BatchResult>* results,
+                     int num_threads = 4);
+
   // Statically bulk-loads all records into an empty non-skeleton index
   // (packed R-Tree construction, see rtree/bulk_load.h). Skeleton kinds
   // refuse: packing is the static alternative the skeleton replaces.
@@ -169,6 +180,8 @@ class IntervalIndex {
   std::unique_ptr<storage::Pager> pager_;
   std::unique_ptr<rtree::RTree> tree_;
   std::unique_ptr<skeleton::SkeletonIndex> skeleton_;  // Skeleton kinds only.
+  // Lazily created by SearchBatch; rebuilt when the thread count changes.
+  std::unique_ptr<exec::QueryEngine> engine_;
 };
 
 }  // namespace segidx::core

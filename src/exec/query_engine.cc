@@ -1,0 +1,91 @@
+#include "exec/query_engine.h"
+
+#include <algorithm>
+
+namespace segidx::exec {
+
+QueryEngine::QueryEngine(rtree::RTree* tree,
+                         const QueryEngineOptions& options)
+    : tree_(tree) {
+  const int n = std::clamp(options.num_threads, 1, 64);
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryEngine::~QueryEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+Status QueryEngine::SearchBatch(const std::vector<Rect>& queries,
+                                std::vector<BatchResult>* results) {
+  results->clear();
+  results->resize(queries.size());
+  if (queries.empty()) return Status::OK();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  queries_ = &queries;
+  results_ = results;
+  batch_status_ = Status::OK();
+  next_.store(0, std::memory_order_relaxed);
+  failed_.store(false, std::memory_order_relaxed);
+  active_workers_ = static_cast<int>(workers_.size());
+  ++generation_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return active_workers_ == 0; });
+  queries_ = nullptr;
+  results_ = nullptr;
+  return batch_status_;
+}
+
+void QueryEngine::WorkerLoop() {
+  uint64_t seen_gen = 0;
+  for (;;) {
+    const std::vector<Rect>* queries;
+    std::vector<BatchResult>* results;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return stop_ || generation_ != seen_gen; });
+      if (stop_) return;
+      seen_gen = generation_;
+      queries = queries_;
+      results = results_;
+    }
+
+    uint64_t local_accesses = 0;
+    Status local_status = Status::OK();
+    for (;;) {
+      if (failed_.load(std::memory_order_relaxed)) break;
+      const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= queries->size()) break;
+      BatchResult& r = (*results)[i];
+      const Status s = tree_->Search((*queries)[i], &r.hits,
+                                     &r.nodes_accessed);
+      local_accesses += r.nodes_accessed;
+      if (!s.ok()) {
+        local_status = s;
+        failed_.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+    total_node_accesses_.fetch_add(local_accesses,
+                                   std::memory_order_relaxed);
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!local_status.ok() && batch_status_.ok()) {
+        batch_status_ = local_status;
+      }
+      if (--active_workers_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace segidx::exec

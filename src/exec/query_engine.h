@@ -1,0 +1,90 @@
+// Parallel query execution over a read-only tree.
+//
+// QueryEngine owns a fixed pool of worker threads and fans a batch of
+// search rectangles out across them, relying on the concurrent read path
+// (pager partition latches + per-call node-access counting in
+// RTree::Search). Results are returned in query order and are identical to
+// running the same queries serially — workers claim whole queries, never
+// split one, so each result vector is produced by exactly one thread.
+//
+// Concurrency contract: SearchBatch() may not overlap with tree mutation
+// (Insert/Delete/bulk load) — the single-writer / multi-reader rule of the
+// storage layer. One batch runs at a time per engine; SearchBatch itself
+// is not reentrant.
+
+#ifndef SEGIDX_EXEC_QUERY_ENGINE_H_
+#define SEGIDX_EXEC_QUERY_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/status.h"
+#include "rtree/rtree.h"
+
+namespace segidx::exec {
+
+struct QueryEngineOptions {
+  // Worker threads in the pool; clamped to [1, 64]. With 1, the batch
+  // still runs on the (single) worker, exercising the same code path.
+  int num_threads = 4;
+};
+
+// One query's outcome within a batch.
+struct BatchResult {
+  std::vector<rtree::SearchHit> hits;
+  uint64_t nodes_accessed = 0;
+};
+
+class QueryEngine {
+ public:
+  // The tree (and its pager) must outlive the engine.
+  QueryEngine(rtree::RTree* tree, const QueryEngineOptions& options);
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  // Executes every query and fills `results` (resized to queries.size(),
+  // same order). If any query fails, the first error is returned and the
+  // remaining unclaimed queries are skipped; `results` contents are then
+  // unspecified.
+  Status SearchBatch(const std::vector<Rect>& queries,
+                     std::vector<BatchResult>* results);
+
+  // Total node accesses across every query of every batch so far.
+  uint64_t total_node_accesses() const {
+    return total_node_accesses_.load(std::memory_order_relaxed);
+  }
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  rtree::RTree* tree_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // Workers wait for a batch (or stop).
+  std::condition_variable done_cv_;   // SearchBatch waits for completion.
+  uint64_t generation_ = 0;           // Bumped once per batch.
+  bool stop_ = false;
+  const std::vector<Rect>* queries_ = nullptr;   // Current batch.
+  std::vector<BatchResult>* results_ = nullptr;
+  int active_workers_ = 0;            // Workers still in the current batch.
+  Status batch_status_;               // First error of the current batch.
+
+  std::atomic<size_t> next_{0};       // Next unclaimed query index.
+  std::atomic<bool> failed_{false};   // Short-circuits the rest of a batch.
+  std::atomic<uint64_t> total_node_accesses_{0};
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace segidx::exec
+
+#endif  // SEGIDX_EXEC_QUERY_ENGINE_H_

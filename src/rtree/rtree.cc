@@ -1,6 +1,7 @@
 #include "rtree/rtree.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <deque>
 #include <limits>
@@ -116,6 +117,12 @@ bool RTree::HasByteRoomForSpanning(const Node& node) const {
 
 Result<Node> RTree::ReadNode(storage::PageId id) {
   CountNodeAccess();
+  SEGIDX_ASSIGN_OR_RETURN(storage::PageHandle page, pager_->Fetch(id));
+  return Node::Deserialize(page.data(), page.size());
+}
+
+Result<Node> RTree::ReadNode(storage::PageId id, uint64_t* accesses) const {
+  ++*accesses;
   SEGIDX_ASSIGN_OR_RETURN(storage::PageHandle page, pager_->Fetch(id));
   return Node::Deserialize(page.data(), page.size());
 }
@@ -466,14 +473,16 @@ Status RTree::Search(const Rect& query, std::vector<SearchHit>* out,
   if (!query.valid()) {
     return InvalidArgumentError("invalid query rectangle");
   }
-  op_node_accesses_ = 0;
+  // Searches run concurrently: count node accesses in a per-call local
+  // rather than the shared per-op counter the mutation path uses.
+  uint64_t accesses = 0;
 
   std::vector<storage::PageId> stack;
   stack.push_back(root_);
   while (!stack.empty()) {
     const storage::PageId id = stack.back();
     stack.pop_back();
-    SEGIDX_ASSIGN_OR_RETURN(Node node, ReadNode(id));
+    SEGIDX_ASSIGN_OR_RETURN(Node node, ReadNode(id, &accesses));
     if (node.is_leaf()) {
       for (const LeafEntry& e : node.records) {
         if (e.rect.Intersects(query)) {
@@ -497,9 +506,11 @@ Status RTree::Search(const Rect& query, std::vector<SearchHit>* out,
     }
   }
 
-  ++stats_.searches;
-  stats_.search_node_accesses += op_node_accesses_;
-  if (nodes_accessed != nullptr) *nodes_accessed = op_node_accesses_;
+  std::atomic_ref<uint64_t>(stats_.searches)
+      .fetch_add(1, std::memory_order_relaxed);
+  std::atomic_ref<uint64_t>(stats_.search_node_accesses)
+      .fetch_add(accesses, std::memory_order_relaxed);
+  if (nodes_accessed != nullptr) *nodes_accessed = accesses;
   return Status::OK();
 }
 
@@ -1176,6 +1187,9 @@ Status RTree::LoadMeta() {
   }
   root_level_ = storage::DecodeU16(buf + 6);
   root_ = storage::PageId::Decode(storage::DecodeU64(buf + 8));
+  if (!root_.valid()) {
+    return CorruptionError("tree metadata root pointer is corrupt");
+  }
   record_count_ = storage::DecodeU64(buf + 16);
   root_region_.x.lo = storage::DecodeDouble(buf + 24);
   root_region_.x.hi = storage::DecodeDouble(buf + 32);

@@ -84,6 +84,10 @@ struct TreeOptions {
       SpanningOverflowPolicy::kEvictSmallest;
 };
 
+// Plain copyable counters. The search-side fields (searches,
+// search_node_accesses) are bumped through relaxed std::atomic_ref so
+// concurrent Search() calls never race; every other field is written only
+// by the single-writer mutation path.
 struct TreeStats {
   uint64_t inserts = 0;
   uint64_t deletes = 0;
@@ -149,7 +153,10 @@ class RTree {
   Status Insert(const Rect& rect, TupleId tid);
 
   // Appends every stored entry intersecting `query` to `out` and reports
-  // the number of nodes accessed by this search.
+  // the number of nodes accessed by this search. Safe to call from many
+  // threads concurrently (node-access counting is per-call, shared stats
+  // are updated atomically), provided no mutation (Insert/Delete/
+  // PreBuild/CoalesceSparseLeaves) runs at the same time.
   Status Search(const Rect& query, std::vector<SearchHit>* out,
                 uint64_t* nodes_accessed = nullptr);
 
@@ -219,6 +226,10 @@ class RTree {
   // Reads and deserializes one node (checksum-verified). Counts as a node
   // access for the active operation's statistics.
   Result<Node> ReadNode(storage::PageId id);
+  // Same, but charges the visit to the caller-provided counter instead of
+  // the shared per-operation counter — the read path concurrent searches
+  // use.
+  Result<Node> ReadNode(storage::PageId id, uint64_t* accesses) const;
   // Extent size class / byte size a node at `level` is expected to use
   // (Section 2.1.2 doubling, capped at the pager's maximum size class).
   uint8_t SizeClassForLevel(int level) const;

@@ -158,9 +158,12 @@ Status SRTree::ProcessDemotions(InsertContext* ctx) {
   // Deduplicate; a node can be recorded once per expansion.
   std::vector<storage::PageId> nodes = std::move(ctx->expanded_nodes);
   ctx->expanded_nodes.clear();
+  // Order must agree with PageId equality (block AND size_class), or
+  // std::unique can miss duplicates that sorted apart.
   std::sort(nodes.begin(), nodes.end(),
             [](const storage::PageId& a, const storage::PageId& b) {
-              return a.block < b.block;
+              if (a.block != b.block) return a.block < b.block;
+              return a.size_class < b.size_class;
             });
   nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
 

@@ -5,6 +5,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <mutex>
 
 namespace segidx::storage {
 
@@ -37,7 +38,7 @@ FileBlockDevice::~FileBlockDevice() {
 }
 
 Status FileBlockDevice::Read(uint64_t offset, size_t n, uint8_t* out) const {
-  if (offset + n > size_) {
+  if (offset + n > size_.load(std::memory_order_acquire)) {
     return OutOfRangeError("read past end of device");
   }
   size_t done = 0;
@@ -66,7 +67,14 @@ Status FileBlockDevice::Write(uint64_t offset, const uint8_t* data,
     }
     done += static_cast<size_t>(w);
   }
-  if (offset + n > size_) size_ = offset + n;
+  // Advance the high-water mark; concurrent writers race benignly, so CAS
+  // up to the max.
+  uint64_t cur = size_.load(std::memory_order_relaxed);
+  while (offset + n > cur &&
+         !size_.compare_exchange_weak(cur, offset + n,
+                                      std::memory_order_release,
+                                      std::memory_order_relaxed)) {
+  }
   return Status::OK();
 }
 
@@ -79,12 +87,13 @@ Status FileBlockDevice::Truncate(uint64_t new_size) {
   if (::ftruncate(fd_, static_cast<off_t>(new_size)) != 0) {
     return ErrnoToStatus("ftruncate", "");
   }
-  size_ = new_size;
+  size_.store(new_size, std::memory_order_release);
   return Status::OK();
 }
 
 Status MemoryBlockDevice::Read(uint64_t offset, size_t n,
                                uint8_t* out) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   if (offset + n > bytes_.size()) {
     return OutOfRangeError("read past end of device");
   }
@@ -94,12 +103,14 @@ Status MemoryBlockDevice::Read(uint64_t offset, size_t n,
 
 Status MemoryBlockDevice::Write(uint64_t offset, const uint8_t* data,
                                 size_t n) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (offset + n > bytes_.size()) bytes_.resize(offset + n, 0);
   std::memcpy(bytes_.data() + offset, data, n);
   return Status::OK();
 }
 
 Status MemoryBlockDevice::Truncate(uint64_t new_size) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   bytes_.resize(new_size, 0);
   return Status::OK();
 }

@@ -8,8 +8,10 @@
 #ifndef SEGIDX_STORAGE_BLOCK_DEVICE_H_
 #define SEGIDX_STORAGE_BLOCK_DEVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -17,6 +19,9 @@
 
 namespace segidx::storage {
 
+// Implementations must support concurrent Read() calls, and Read()
+// concurrent with Write()/Truncate() of *disjoint* ranges (the pager's
+// eviction write-back runs while other partitions serve reads).
 class BlockDevice {
  public:
   virtual ~BlockDevice() = default;
@@ -52,14 +57,18 @@ class FileBlockDevice : public BlockDevice {
   Status Read(uint64_t offset, size_t n, uint8_t* out) const override;
   Status Write(uint64_t offset, const uint8_t* data, size_t n) override;
   Status Sync() override;
-  uint64_t size() const override { return size_; }
+  uint64_t size() const override {
+    return size_.load(std::memory_order_acquire);
+  }
   Status Truncate(uint64_t new_size) override;
 
  private:
   FileBlockDevice(int fd, uint64_t size) : fd_(fd), size_(size) {}
 
   int fd_;
-  uint64_t size_;
+  // pread/pwrite are themselves thread-safe; only the size high-water mark
+  // needs synchronizing.
+  std::atomic<uint64_t> size_;
 };
 
 // In-memory backend.
@@ -70,10 +79,16 @@ class MemoryBlockDevice : public BlockDevice {
   Status Read(uint64_t offset, size_t n, uint8_t* out) const override;
   Status Write(uint64_t offset, const uint8_t* data, size_t n) override;
   Status Sync() override { return Status::OK(); }
-  uint64_t size() const override { return bytes_.size(); }
+  uint64_t size() const override {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return bytes_.size();
+  }
   Status Truncate(uint64_t new_size) override;
 
  private:
+  // Writes may grow the vector and move its storage, so readers take the
+  // shared side of this lock.
+  mutable std::shared_mutex mu_;
   std::vector<uint8_t> bytes_;
 };
 

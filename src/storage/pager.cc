@@ -25,6 +25,13 @@ constexpr uint32_t kFormatVersion = 1;
 //   ..  user_meta         kUserMetaCapacity bytes
 constexpr size_t kSuperFixed = 28;
 
+// Relaxed counter bump on a plain stats field; atomic_ref keeps the struct
+// copyable for callers while making concurrent Fetch paths race-free.
+inline void BumpStat(uint64_t& counter, uint64_t delta = 1) {
+  std::atomic_ref<uint64_t>(counter).fetch_add(delta,
+                                               std::memory_order_relaxed);
+}
+
 }  // namespace
 
 PageHandle::~PageHandle() { Release(); }
@@ -55,9 +62,7 @@ PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
 
 void PageHandle::MarkDirty() {
   SEGIDX_DCHECK(valid());
-  auto it = pager_->frames_.find(id_.block);
-  SEGIDX_DCHECK(it != pager_->frames_.end());
-  it->second.dirty = true;
+  pager_->MarkFrameDirty(id_.block);
 }
 
 void PageHandle::Release() {
@@ -67,6 +72,14 @@ void PageHandle::Release() {
     data_ = nullptr;
     size_ = 0;
   }
+}
+
+Pager::Pager(std::unique_ptr<BlockDevice> device, const PagerOptions& options)
+    : device_(std::move(device)), options_(options) {
+  num_partitions_ = std::clamp<uint32_t>(options_.lru_partitions, 1, 256);
+  partition_budget_ =
+      std::max<size_t>(1, options_.buffer_pool_bytes / num_partitions_);
+  partitions_ = std::make_unique<Partition[]>(num_partitions_);
 }
 
 Result<std::unique_ptr<Pager>> Pager::Create(
@@ -154,102 +167,132 @@ Status Pager::ReadSuperblock() {
   return Status::OK();
 }
 
+PageHandle Pager::InstallFrame(uint32_t block, uint8_t size_class,
+                               std::vector<uint8_t> bytes, bool dirty) {
+  Partition& part = PartitionFor(block);
+  std::lock_guard<std::mutex> lock(part.mu);
+  Frame& frame = part.frames[block];
+  SEGIDX_CHECK_EQ(frame.pin_count, 0);
+  SEGIDX_CHECK(!frame.in_lru);
+  frame.bytes = std::move(bytes);
+  frame.size_class = size_class;
+  frame.dirty = dirty;
+  frame.pin_count = 1;
+  frame.in_lru = false;
+  part.cached_bytes += frame.bytes.size();
+  (void)EnforceCapacityLocked(part);
+  PageId id;
+  id.block = block;
+  id.size_class = size_class;
+  return PageHandle(this, id, frame.bytes.data(), frame.bytes.size());
+}
+
 Result<PageHandle> Pager::Allocate(uint8_t size_class) {
   if (size_class > options_.max_size_class) {
     return InvalidArgumentError("size class exceeds maximum");
   }
   uint32_t block;
-  if (free_heads_[size_class] != kInvalidBlock) {
-    // Pop the free list: the first 4 bytes of a free extent hold the next
-    // free extent's first block.
-    block = free_heads_[size_class];
-    uint8_t link[4];
-    SEGIDX_RETURN_IF_ERROR(device_->Read(BlockOffset(block), 4, link));
-    free_heads_[size_class] = DecodeU32(link);
-  } else {
-    block = next_block_;
-    next_block_ += 1u << size_class;
+  {
+    std::lock_guard<std::mutex> lock(alloc_mu_);
+    if (free_heads_[size_class] != kInvalidBlock) {
+      // Pop the free list: the first 4 bytes of a free extent hold the next
+      // free extent's first block.
+      block = free_heads_[size_class];
+      uint8_t link[4];
+      SEGIDX_RETURN_IF_ERROR(device_->Read(BlockOffset(block), 4, link));
+      free_heads_[size_class] = DecodeU32(link);
+    } else {
+      block = next_block_;
+      next_block_ += 1u << size_class;
+    }
   }
-  ++stats_.pages_allocated;
-
-  SEGIDX_RETURN_IF_ERROR(EnforceCapacity());
-  Frame& frame = frames_[block];
-  SEGIDX_CHECK_EQ(frame.pin_count, 0);
-  frame.bytes.assign(ExtentBytes(size_class), 0);
-  frame.size_class = size_class;
-  frame.dirty = true;
-  frame.pin_count = 1;
-  frame.in_lru = false;
-  cached_bytes_ += frame.bytes.size();
-  return MakeHandle(block, &frame);
+  BumpStat(stats_.pages_allocated);
+  return InstallFrame(block, size_class,
+                      std::vector<uint8_t>(ExtentBytes(size_class), 0),
+                      /*dirty=*/true);
 }
 
 Result<PageHandle> Pager::Fetch(PageId id) {
   if (!id.valid() || id.size_class > options_.max_size_class) {
     return InvalidArgumentError("invalid page id");
   }
-  ++stats_.logical_reads;
-  auto it = frames_.find(id.block);
-  if (it != frames_.end()) {
-    ++stats_.cache_hits;
-    Frame& frame = it->second;
-    SEGIDX_CHECK_EQ(frame.size_class, id.size_class);
-    if (frame.in_lru) {
-      lru_.erase(frame.lru_pos);
-      frame.in_lru = false;
+  BumpStat(stats_.logical_reads);
+  Partition& part = PartitionFor(id.block);
+  {
+    std::lock_guard<std::mutex> lock(part.mu);
+    auto it = part.frames.find(id.block);
+    if (it != part.frames.end()) {
+      BumpStat(stats_.cache_hits);
+      Frame& frame = it->second;
+      SEGIDX_CHECK_EQ(frame.size_class, id.size_class);
+      if (frame.in_lru) {
+        part.lru.erase(frame.lru_pos);
+        frame.in_lru = false;
+      }
+      ++frame.pin_count;
+      return PageHandle(this, id, frame.bytes.data(), frame.bytes.size());
     }
-    ++frame.pin_count;
-    return MakeHandle(id.block, &frame);
+
+    // Miss: read the extent from the device while holding the partition
+    // latch, so a second reader of the same block waits here and then takes
+    // the hit path instead of double-reading.
+    BumpStat(stats_.physical_reads);
+    const size_t n = ExtentBytes(id.size_class);
+    std::vector<uint8_t> bytes(n);
+    SEGIDX_RETURN_IF_ERROR(
+        device_->Read(BlockOffset(id.block), n, bytes.data()));
+    Frame& frame = part.frames[id.block];
+    frame.bytes = std::move(bytes);
+    frame.size_class = id.size_class;
+    frame.dirty = false;
+    frame.pin_count = 1;
+    frame.in_lru = false;
+    part.cached_bytes += frame.bytes.size();
+    (void)EnforceCapacityLocked(part);
+    return PageHandle(this, id, frame.bytes.data(), frame.bytes.size());
   }
-
-  ++stats_.physical_reads;
-  const size_t n = ExtentBytes(id.size_class);
-  std::vector<uint8_t> bytes(n);
-  SEGIDX_RETURN_IF_ERROR(
-      device_->Read(BlockOffset(id.block), n, bytes.data()));
-
-  SEGIDX_RETURN_IF_ERROR(EnforceCapacity());
-  Frame& frame = frames_[id.block];
-  frame.bytes = std::move(bytes);
-  frame.size_class = id.size_class;
-  frame.dirty = false;
-  frame.pin_count = 1;
-  frame.in_lru = false;
-  cached_bytes_ += frame.bytes.size();
-  return MakeHandle(id.block, &frame);
 }
 
 Status Pager::Free(PageId id) {
   if (!id.valid() || id.size_class > options_.max_size_class) {
     return InvalidArgumentError("invalid page id");
   }
-  auto it = frames_.find(id.block);
-  if (it != frames_.end()) {
-    Frame& frame = it->second;
-    if (frame.pin_count != 0) {
-      return FailedPreconditionError("cannot free a pinned page");
+  {
+    Partition& part = PartitionFor(id.block);
+    std::lock_guard<std::mutex> lock(part.mu);
+    auto it = part.frames.find(id.block);
+    if (it != part.frames.end()) {
+      Frame& frame = it->second;
+      if (frame.pin_count != 0) {
+        return FailedPreconditionError("cannot free a pinned page");
+      }
+      if (frame.in_lru) part.lru.erase(frame.lru_pos);
+      part.cached_bytes -= frame.bytes.size();
+      part.frames.erase(it);
     }
-    if (frame.in_lru) lru_.erase(frame.lru_pos);
-    cached_bytes_ -= frame.bytes.size();
-    frames_.erase(it);
   }
   // Thread onto the free list.
+  std::lock_guard<std::mutex> lock(alloc_mu_);
   uint8_t link[4];
   EncodeU32(link, free_heads_[id.size_class]);
   SEGIDX_RETURN_IF_ERROR(device_->Write(BlockOffset(id.block), link, 4));
   free_heads_[id.size_class] = id.block;
-  ++stats_.pages_freed;
+  BumpStat(stats_.pages_freed);
   return Status::OK();
 }
 
 Status Pager::Flush() {
-  for (auto& [block, frame] : frames_) {
-    if (frame.dirty) {
-      SEGIDX_RETURN_IF_ERROR(device_->Write(BlockOffset(block),
-                                            frame.bytes.data(),
-                                            frame.bytes.size()));
-      ++stats_.physical_writes;
-      frame.dirty = false;
+  for (uint32_t p = 0; p < num_partitions_; ++p) {
+    Partition& part = partitions_[p];
+    std::lock_guard<std::mutex> lock(part.mu);
+    for (auto& [block, frame] : part.frames) {
+      if (frame.dirty) {
+        SEGIDX_RETURN_IF_ERROR(device_->Write(BlockOffset(block),
+                                              frame.bytes.data(),
+                                              frame.bytes.size()));
+        BumpStat(stats_.physical_writes);
+        frame.dirty = false;
+      }
     }
   }
   return Status::OK();
@@ -257,7 +300,10 @@ Status Pager::Flush() {
 
 Status Pager::Checkpoint() {
   SEGIDX_RETURN_IF_ERROR(Flush());
-  SEGIDX_RETURN_IF_ERROR(WriteSuperblock());
+  {
+    std::lock_guard<std::mutex> lock(alloc_mu_);
+    SEGIDX_RETURN_IF_ERROR(WriteSuperblock());
+  }
   return device_->Sync();
 }
 
@@ -265,11 +311,13 @@ Status Pager::SetUserMeta(const uint8_t* data, size_t n) {
   if (n > kUserMetaCapacity) {
     return InvalidArgumentError("user metadata too large");
   }
+  std::lock_guard<std::mutex> lock(alloc_mu_);
   user_meta_.assign(data, data + n);
   return Status::OK();
 }
 
 Result<std::vector<PageId>> Pager::FreeExtents() const {
+  std::lock_guard<std::mutex> lock(alloc_mu_);
   std::vector<PageId> out;
   for (uint8_t sc = 0; sc < free_heads_.size(); ++sc) {
     uint32_t block = free_heads_[sc];
@@ -301,58 +349,80 @@ Result<std::vector<PageId>> Pager::FreeExtents() const {
 
 size_t Pager::pinned_frames() const {
   size_t n = 0;
-  for (const auto& [block, frame] : frames_) {
-    if (frame.pin_count > 0) ++n;
+  for (uint32_t p = 0; p < num_partitions_; ++p) {
+    const Partition& part = partitions_[p];
+    std::lock_guard<std::mutex> lock(part.mu);
+    for (const auto& [block, frame] : part.frames) {
+      if (frame.pin_count > 0) ++n;
+    }
   }
   return n;
 }
 
-Status Pager::EnforceCapacity() {
-  while (cached_bytes_ > options_.buffer_pool_bytes && !lru_.empty()) {
-    const uint32_t victim = lru_.back();
-    SEGIDX_RETURN_IF_ERROR(EvictFrame(victim));
+size_t Pager::cached_frames() const {
+  size_t n = 0;
+  for (uint32_t p = 0; p < num_partitions_; ++p) {
+    const Partition& part = partitions_[p];
+    std::lock_guard<std::mutex> lock(part.mu);
+    n += part.frames.size();
   }
-  return Status::OK();
+  return n;
 }
 
-Status Pager::EvictFrame(uint32_t block) {
-  auto it = frames_.find(block);
-  SEGIDX_CHECK(it != frames_.end());
-  Frame& frame = it->second;
-  SEGIDX_CHECK_EQ(frame.pin_count, 0);
-  if (frame.dirty) {
-    SEGIDX_RETURN_IF_ERROR(device_->Write(BlockOffset(block),
-                                          frame.bytes.data(),
-                                          frame.bytes.size()));
-    ++stats_.physical_writes;
+size_t Pager::cached_bytes() const {
+  size_t n = 0;
+  for (uint32_t p = 0; p < num_partitions_; ++p) {
+    const Partition& part = partitions_[p];
+    std::lock_guard<std::mutex> lock(part.mu);
+    n += part.cached_bytes;
   }
-  if (frame.in_lru) lru_.erase(frame.lru_pos);
-  cached_bytes_ -= frame.bytes.size();
-  frames_.erase(it);
-  ++stats_.evictions;
+  return n;
+}
+
+Status Pager::EnforceCapacityLocked(Partition& part) {
+  while (part.cached_bytes > partition_budget_ && !part.lru.empty()) {
+    const uint32_t victim = part.lru.back();
+    auto it = part.frames.find(victim);
+    SEGIDX_CHECK(it != part.frames.end());
+    Frame& frame = it->second;
+    SEGIDX_CHECK_EQ(frame.pin_count, 0);
+    if (frame.dirty) {
+      SEGIDX_RETURN_IF_ERROR(device_->Write(BlockOffset(victim),
+                                            frame.bytes.data(),
+                                            frame.bytes.size()));
+      BumpStat(stats_.physical_writes);
+    }
+    part.lru.pop_back();
+    part.cached_bytes -= frame.bytes.size();
+    part.frames.erase(it);
+    BumpStat(stats_.evictions);
+  }
   return Status::OK();
 }
 
 void Pager::Unpin(uint32_t block) {
-  auto it = frames_.find(block);
-  SEGIDX_CHECK(it != frames_.end());
+  Partition& part = PartitionFor(block);
+  std::lock_guard<std::mutex> lock(part.mu);
+  auto it = part.frames.find(block);
+  SEGIDX_CHECK(it != part.frames.end());
   Frame& frame = it->second;
   SEGIDX_CHECK_GT(frame.pin_count, 0);
   if (--frame.pin_count == 0) {
-    lru_.push_front(block);
-    frame.lru_pos = lru_.begin();
+    part.lru.push_front(block);
+    frame.lru_pos = part.lru.begin();
     frame.in_lru = true;
     // Opportunistically shrink back to capacity now that a frame became
     // evictable.
-    (void)EnforceCapacity();
+    (void)EnforceCapacityLocked(part);
   }
 }
 
-PageHandle Pager::MakeHandle(uint32_t block, Frame* frame) {
-  PageId id;
-  id.block = block;
-  id.size_class = frame->size_class;
-  return PageHandle(this, id, frame->bytes.data(), frame->bytes.size());
+void Pager::MarkFrameDirty(uint32_t block) {
+  Partition& part = PartitionFor(block);
+  std::lock_guard<std::mutex> lock(part.mu);
+  auto it = part.frames.find(block);
+  SEGIDX_CHECK(it != part.frames.end());
+  it->second.dirty = true;
 }
 
 }  // namespace segidx::storage

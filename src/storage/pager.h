@@ -8,14 +8,35 @@
 // first bytes of each free extent and anchored in the superblock, so index
 // files can be closed and reopened.
 //
-// Concurrency: single-threaded by design, like the original experiments.
+// Thread-safety contract (single-writer / multi-reader):
+//
+//   * Fetch(), PageHandle pin/unpin/MarkDirty, and the stats counters are
+//     safe to call from any number of threads concurrently. The buffer pool
+//     is sharded into `PagerOptions::lru_partitions` latch-protected
+//     partitions keyed by base block, so concurrent readers on different
+//     pages rarely contend; stats counters are updated with relaxed
+//     atomics.
+//   * Allocate(), Free(), SetUserMeta(), Flush(), and Checkpoint() mutate
+//     allocator state under one exclusive latch and must not run
+//     concurrently with each other. They MAY run concurrently with readers
+//     of *other* pages (eviction write-back already does), but freeing or
+//     reallocating a page some reader is concurrently fetching is a logical
+//     race the caller must prevent — the tree layer guarantees this by
+//     never exposing unreachable pages to readers.
+//   * ResetStats() and FreeExtents() require external quiescence.
+//
+// LRU is maintained per partition; with `lru_partitions = 1` the pager
+// degenerates to the exact global-LRU behavior of the original
+// single-threaded design (tests that assert eviction order use this).
 
 #ifndef SEGIDX_STORAGE_PAGER_H_
 #define SEGIDX_STORAGE_PAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -34,13 +55,19 @@ struct PageId {
 
   bool valid() const { return block != kInvalidBlock; }
 
-  // Packs into 8 bytes for on-page child pointers.
+  // Packs into 8 bytes for on-page child pointers. Bits 40-63 are
+  // reserved and always zero.
   uint64_t Encode() const {
     return static_cast<uint64_t>(block) |
            static_cast<uint64_t>(size_class) << 32;
   }
+  // Non-zero reserved bits mean the pointer bytes are corrupt; Decode maps
+  // such values to an invalid PageId so the damage surfaces as a clean
+  // error (Fetch rejects invalid ids) instead of silently aliasing an
+  // arbitrary (block, size_class).
   static PageId Decode(uint64_t v) {
     PageId id;
+    if ((v >> 40) != 0) return id;
     id.block = static_cast<uint32_t>(v);
     id.size_class = static_cast<uint8_t>(v >> 32);
     return id;
@@ -51,6 +78,10 @@ struct PageId {
   }
 };
 
+// Counters are plain integers mutated exclusively through relaxed
+// std::atomic_ref, so concurrent readers (Fetch from many threads) never
+// race. Reading a consistent snapshot requires quiescence, which every
+// caller (tests, benchmarks after joining workers) already has.
 struct StorageStats {
   uint64_t logical_reads = 0;    // Fetch() calls (= node accesses).
   uint64_t cache_hits = 0;
@@ -68,6 +99,10 @@ struct PagerOptions {
   // Buffer pool capacity. The pool may transiently exceed this when every
   // frame is pinned.
   size_t buffer_pool_bytes = 8u << 20;
+  // Buffer-pool partitions (frame map + LRU list + byte budget each),
+  // keyed by base block. More partitions means less latch contention for
+  // concurrent readers; 1 restores exact global LRU. Clamped to [1, 256].
+  uint32_t lru_partitions = 8;
 };
 
 class Pager;
@@ -126,13 +161,15 @@ class Pager {
   Pager& operator=(const Pager&) = delete;
 
   // Allocates a zeroed extent of the given size class; returns it pinned
-  // and marked dirty.
+  // and marked dirty. Single-writer path.
   Result<PageHandle> Allocate(uint8_t size_class);
 
-  // Fetches an extent, reading it from the device on a cache miss.
+  // Fetches an extent, reading it from the device on a cache miss. Safe for
+  // concurrent callers.
   Result<PageHandle> Fetch(PageId id);
 
   // Returns an extent to the free list. The extent must be unpinned.
+  // Single-writer path.
   Status Free(PageId id);
 
   // Writes back every dirty frame (cache stays populated).
@@ -157,9 +194,12 @@ class Pager {
   const StorageStats& stats() const { return stats_; }
   void ResetStats() { stats_ = StorageStats(); }
 
-  // Number of currently pinned frames (for tests / leak detection).
+  // Number of currently pinned / cached frames across every partition
+  // (for tests / leak detection).
   size_t pinned_frames() const;
-  size_t cached_frames() const { return frames_.size(); }
+  size_t cached_frames() const;
+  // Bytes currently held by the buffer pool across every partition.
+  size_t cached_bytes() const;
 
   // Every extent currently on a free list, by walking the per-size-class
   // lists on the device. Used by the structure checker's page-accounting
@@ -173,38 +213,58 @@ class Pager {
     uint8_t size_class = 0;
     int pin_count = 0;
     bool dirty = false;
-    // Position in lru_ when pin_count == 0.
+    // Position in the partition's lru when pin_count == 0.
     std::list<uint32_t>::iterator lru_pos;
     bool in_lru = false;
   };
 
+  // One buffer-pool shard: its own latch, frame map, LRU list (front =
+  // most recent), and byte budget. Frames live in the node-based map, so
+  // pointers handed out while pinned stay valid across rehashes.
+  struct Partition {
+    mutable std::mutex mu;
+    std::unordered_map<uint32_t, Frame> frames;
+    std::list<uint32_t> lru;
+    size_t cached_bytes = 0;
+  };
+
   friend class PageHandle;
 
-  Pager(std::unique_ptr<BlockDevice> device, const PagerOptions& options)
-      : device_(std::move(device)), options_(options) {}
+  Pager(std::unique_ptr<BlockDevice> device, const PagerOptions& options);
 
-  Status WriteSuperblock();
+  Status WriteSuperblock();  // Caller holds alloc_mu_ (or is init-time).
   Status ReadSuperblock();
 
   uint64_t BlockOffset(uint32_t block) const {
     return static_cast<uint64_t>(block) * options_.base_block_size;
   }
 
-  // Evicts unpinned LRU frames until the pool is within capacity.
-  Status EnforceCapacity();
-  Status EvictFrame(uint32_t block);
+  Partition& PartitionFor(uint32_t block) {
+    return partitions_[block % num_partitions_];
+  }
+
+  // Installs a frame for `block` (must not be cached), evicting unpinned
+  // LRU frames of its partition past the per-partition budget. Returns the
+  // pinned handle.
+  PageHandle InstallFrame(uint32_t block, uint8_t size_class,
+                          std::vector<uint8_t> bytes, bool dirty);
+
+  // Evicts unpinned LRU frames until the partition is within its budget.
+  // Caller holds part.mu.
+  Status EnforceCapacityLocked(Partition& part);
   void Unpin(uint32_t block);
-  PageHandle MakeHandle(uint32_t block, Frame* frame);
+  void MarkFrameDirty(uint32_t block);
 
   std::unique_ptr<BlockDevice> device_;
   PagerOptions options_;
   StorageStats stats_;
 
-  std::unordered_map<uint32_t, Frame> frames_;
-  std::list<uint32_t> lru_;  // Front = most recent.
-  size_t cached_bytes_ = 0;
+  uint32_t num_partitions_ = 1;
+  size_t partition_budget_ = 0;  // buffer_pool_bytes / num_partitions_.
+  std::unique_ptr<Partition[]> partitions_;
 
-  // Allocation state (persisted in the superblock).
+  // Allocation state (persisted in the superblock), guarded by alloc_mu_.
+  mutable std::mutex alloc_mu_;
   uint32_t next_block_ = 1;  // Block 0 is the superblock.
   std::vector<uint32_t> free_heads_;
   std::vector<uint8_t> user_meta_;

@@ -160,6 +160,30 @@ TEST(CorruptionTest, UnknownIndexKindIsRejected) {
   EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
 }
 
+TEST(CorruptionTest, RootPointerReservedBitsAreRejected) {
+  const std::string path =
+      BuildIndexFile("corrupt_root_ptr", IndexKind::kRTree);
+  // The tree metadata stores the root PageId at offset 8 as a packed u64
+  // whose bits 40-63 are reserved-zero. Flipping them must surface as a
+  // clean corruption error at open, not as an aliased page address.
+  {
+    auto pager = storage::Pager::Open(
+                     storage::FileBlockDevice::Open(path, false).value(),
+                     storage::PagerOptions())
+                     .value();
+    std::vector<uint8_t> meta = pager->user_meta();
+    ASSERT_GE(meta.size(), 16u);
+    const uint64_t root = storage::DecodeU64(meta.data() + 8);
+    storage::EncodeU64(meta.data() + 8,
+                       root | (uint64_t{0xabcd} << 44));
+    ASSERT_TRUE(pager->SetUserMeta(meta.data(), meta.size()).ok());
+    ASSERT_TRUE(pager->Checkpoint().ok());
+  }
+  const auto result = IntervalIndex::OpenFromDisk(path, IndexOptions());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
 TEST(CorruptionTest, IntactFileStillOpensAfterFailedAttempts) {
   // Sanity: the failure tests above must not be rejecting valid files.
   const std::string path =

@@ -1,8 +1,10 @@
 #include "storage/pager.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -33,6 +35,18 @@ TEST(PageIdTest, EncodeDecodeRoundTrip) {
   EXPECT_EQ(back, id);
   EXPECT_TRUE(id.valid());
   EXPECT_FALSE(PageId().valid());
+}
+
+TEST(PageIdTest, DecodeRejectsReservedHighBits) {
+  PageId id;
+  id.block = 77;
+  id.size_class = 2;
+  // Bits 40-63 are reserved-zero; a flip anywhere in them means the
+  // pointer bytes are corrupt and must not alias a plausible PageId.
+  for (int bit = 40; bit < 64; ++bit) {
+    const PageId back = PageId::Decode(id.Encode() | (uint64_t{1} << bit));
+    EXPECT_FALSE(back.valid()) << "accepted garbage in bit " << bit;
+  }
 }
 
 TEST(PagerTest, AllocateZeroedAndWritable) {
@@ -106,6 +120,80 @@ TEST(PagerTest, PinnedPagesSurviveCapacityPressure) {
   // The pinned frame was never evicted: the pointer is still valid.
   EXPECT_EQ(pinned->data()[7], 0x77);
   EXPECT_GE(pager->pinned_frames(), 1u);
+}
+
+TEST(PagerTest, AllPinnedPoolTransientlyExceedsBudgetThenShrinks) {
+  PagerOptions options = SmallPool();
+  options.lru_partitions = 1;
+  auto pager = MakeMemoryPager(options);
+  // 16 KB of pinned frames through an 8 KB pool: nothing is evictable, so
+  // the pool exceeds its budget rather than failing.
+  std::vector<PageHandle> pins;
+  for (int i = 0; i < 16; ++i) {
+    auto page = pager->Allocate(0);
+    ASSERT_TRUE(page.ok());
+    pins.push_back(std::move(page).value());
+  }
+  EXPECT_GT(pager->cached_bytes(), options.buffer_pool_bytes);
+  EXPECT_EQ(pager->pinned_frames(), 16u);
+  // Releasing the pins lets the pool shrink back within its budget.
+  pins.clear();
+  EXPECT_LE(pager->cached_bytes(), options.buffer_pool_bytes);
+  EXPECT_EQ(pager->pinned_frames(), 0u);
+}
+
+TEST(PagerTest, EvictsLeastRecentlyUsedFirst) {
+  PagerOptions options = SmallPool();  // Exactly 8 one-block frames.
+  options.lru_partitions = 1;          // Global LRU for determinism.
+  auto pager = MakeMemoryPager(options);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 8; ++i) {
+    auto page = pager->Allocate(0);
+    ASSERT_TRUE(page.ok());
+    ids.push_back(page->id());
+  }
+  // Touch ids[0] so ids[1] becomes the least recently used frame.
+  { auto page = pager->Fetch(ids[0]); ASSERT_TRUE(page.ok()); }
+  pager->ResetStats();
+  { auto page = pager->Allocate(0); ASSERT_TRUE(page.ok()); }
+  EXPECT_EQ(pager->stats().evictions, 1u);
+  // The recently touched frame survived; the LRU frame did not.
+  { auto page = pager->Fetch(ids[0]); ASSERT_TRUE(page.ok()); }
+  EXPECT_EQ(pager->stats().physical_reads, 0u);
+  { auto page = pager->Fetch(ids[1]); ASSERT_TRUE(page.ok()); }
+  EXPECT_EQ(pager->stats().physical_reads, 1u);
+}
+
+TEST(PagerTest, ConcurrentFetchesSeeConsistentFrames) {
+  auto pager = MakeMemoryPager(SmallPool());  // Evictions stay frequent.
+  std::vector<PageId> ids;
+  for (int i = 0; i < 64; ++i) {
+    auto page = pager->Allocate(0);
+    ASSERT_TRUE(page.ok());
+    page->data()[0] = static_cast<uint8_t>(i);
+    page->MarkDirty();
+    ids.push_back(page->id());
+  }
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 200;
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        const size_t i = static_cast<size_t>(t * 17 + round) % ids.size();
+        auto page = pager->Fetch(ids[i]);
+        if (!page.ok() || page->data()[0] != static_cast<uint8_t>(i)) {
+          errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(pager->stats().logical_reads,
+            static_cast<uint64_t>(kThreads) * kRounds);
+  EXPECT_EQ(pager->pinned_frames(), 0u);
 }
 
 TEST(PagerTest, StatsCountHitsAndMisses) {

@@ -9,12 +9,21 @@
 //   segidx verify --file=idx
 //   segidx check  --file=idx [--min-fill=1] [--tight=1] [--strict=1]
 //                 [--no-quota=1] [--no-pages=1] [--max-violations=N]
+//   segidx bench-parallel --file=idx [--queries=N] [--qar=F]
+//                 [--threads=1,2,4,8] [--seed=S]
 //
 // `verify` stops at the first violation; `check` runs the full
 // StructureChecker walk and prints every violation plus walk statistics.
+// `bench-parallel` runs a batch of random square queries (query area ratio
+// `qar` of the root region) serially, then through the parallel
+// QueryEngine at each thread count, checking result sets stay identical
+// and reporting throughput.
 //
 // Exit codes: 0 success, 1 runtime error / violations found, 2 usage error.
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -24,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "common/random.h"
 #include "core/interval_index.h"
 
 namespace {
@@ -36,7 +46,8 @@ using core::IntervalIndex;
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: segidx <create|insert|query|stats|verify|check> --file=PATH "
+      "usage: segidx "
+      "<create|insert|query|stats|verify|check|bench-parallel> --file=PATH "
       "...\n"
       "  create: --kind=rtree|srtree|skeleton-rtree|skeleton-srtree\n"
       "          [--expected=N] [--sample=N] [--domain=xlo:xhi:ylo:yhi]\n"
@@ -46,7 +57,9 @@ int Usage() {
       "  verify: quick check, stops at the first violation\n"
       "  check:  full structural report  [--min-fill=1] [--tight=1]\n"
       "          [--strict=1] [--no-quota=1] [--no-pages=1]\n"
-      "          [--max-violations=N]\n");
+      "          [--max-violations=N]\n"
+      "  bench-parallel: [--queries=N] [--qar=F] [--threads=1,2,4,8]\n"
+      "          [--seed=S]\n");
   return 2;
 }
 
@@ -328,6 +341,115 @@ int CmdCheck(const Args& args, const std::string& file) {
   return report->ok() ? 0 : 1;
 }
 
+int CmdBenchParallel(const Args& args, const std::string& file) {
+  size_t num_queries = 1000;
+  double qar = 0.01;
+  uint64_t seed = 42;
+  std::vector<int> thread_counts = {1, 2, 4, 8};
+  if (auto v = args.Get("queries")) num_queries = std::stoull(*v);
+  if (auto v = args.Get("qar")) qar = std::stod(*v);
+  if (auto v = args.Get("seed")) seed = std::stoull(*v);
+  if (auto v = args.Get("threads")) {
+    thread_counts.clear();
+    std::stringstream ss(*v);
+    std::string piece;
+    while (std::getline(ss, piece, ',')) {
+      int n = 0;
+      try {
+        n = std::stoi(piece);
+      } catch (const std::exception&) {
+        n = 0;
+      }
+      if (n < 1) {
+        std::fprintf(stderr, "--threads: expected positive integers, got '%s'\n",
+                     piece.c_str());
+        return 1;
+      }
+      thread_counts.push_back(n);
+    }
+    if (thread_counts.empty()) return Usage();
+  }
+
+  auto opened = IntervalIndex::OpenFromDisk(file, OptionsFrom(args));
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  auto index = std::move(opened).value();
+  if (!index->tree()->root_region_valid()) {
+    std::fprintf(stderr, "index is empty; nothing to query\n");
+    return 1;
+  }
+
+  // Square queries covering `qar` of the root region's area, uniformly
+  // placed (the paper's QAR query model).
+  const Rect region = index->tree()->root_region();
+  const double width = region.x.hi - region.x.lo;
+  const double height = region.y.hi - region.y.lo;
+  const double side = std::sqrt(qar * width * height);
+  Rng rng(seed);
+  std::vector<Rect> queries;
+  queries.reserve(num_queries);
+  for (size_t i = 0; i < num_queries; ++i) {
+    const double x = rng.Uniform(region.x.lo,
+                                 std::max(region.x.lo, region.x.hi - side));
+    const double y = rng.Uniform(region.y.lo,
+                                 std::max(region.y.lo, region.y.hi - side));
+    queries.emplace_back(x, x + side, y, y + side);
+  }
+
+  using Clock = std::chrono::steady_clock;
+
+  // Serial baseline.
+  std::vector<std::vector<rtree::SearchHit>> serial(num_queries);
+  const auto serial_start = Clock::now();
+  for (size_t i = 0; i < num_queries; ++i) {
+    if (auto st = index->tree()->Search(queries[i], &serial[i]); !st.ok()) {
+      std::fprintf(stderr, "search failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  const double serial_secs =
+      std::chrono::duration<double>(Clock::now() - serial_start).count();
+  std::printf("%zu queries, qar=%g, side=%.1f\n", num_queries, qar, side);
+  std::printf("%8s %12s %10s %9s\n", "threads", "queries/s", "time(s)",
+              "speedup");
+  std::printf("%8s %12.0f %10.3f %9s\n", "serial",
+              num_queries / serial_secs, serial_secs, "1.00x");
+
+  for (int threads : thread_counts) {
+    std::vector<exec::BatchResult> results;
+    const auto start = Clock::now();
+    if (auto st = index->SearchBatch(queries, &results, threads); !st.ok()) {
+      std::fprintf(stderr, "batch failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - start).count();
+
+    for (size_t i = 0; i < num_queries; ++i) {
+      const auto& hits = results[i].hits;
+      if (hits.size() != serial[i].size() ||
+          !std::equal(hits.begin(), hits.end(), serial[i].begin(),
+                      [](const rtree::SearchHit& a,
+                         const rtree::SearchHit& b) {
+                        return a.tid == b.tid && a.rect == b.rect;
+                      })) {
+        std::fprintf(stderr,
+                     "MISMATCH: query %zu differs from serial at %d "
+                     "threads\n",
+                     i, threads);
+        return 1;
+      }
+    }
+    std::printf("%8d %12.0f %10.3f %8.2fx\n", threads, num_queries / secs,
+                secs, serial_secs / secs);
+  }
+  std::printf("all parallel result sets identical to serial\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -342,5 +464,8 @@ int main(int argc, char** argv) {
   if (args->command == "stats") return CmdStats(*args, *file);
   if (args->command == "verify") return CmdVerify(*args, *file);
   if (args->command == "check") return CmdCheck(*args, *file);
+  if (args->command == "bench-parallel") {
+    return CmdBenchParallel(*args, *file);
+  }
   return Usage();
 }

@@ -195,7 +195,8 @@ Result<CheckReport> StructureChecker::Check() {
     const Frame frame = stack.back();
     stack.pop_back();
 
-    if (!frame.id.valid() || frame.id.block == 0 ||
+    if (!frame.id.valid() ||
+        frame.id.block < tree_->pager()->first_data_block() ||
         frame.id.block >= allocated) {
       Report(ViolationKind::kPageOutOfBounds, frame.id, kInvalidTupleId,
              "referenced block " + std::to_string(frame.id.block) +
@@ -513,7 +514,8 @@ void StructureChecker::CheckPageAccounting() {
             [](const Extent& a, const Extent& b) { return a.begin < b.begin; });
 
   const uint64_t allocated = pager->allocated_blocks();
-  uint32_t cursor = 1;  // Block 0 is the superblock.
+  // Superblock slot blocks precede the data range (two in format v2).
+  uint32_t cursor = pager->first_data_block();
   for (const Extent& e : extents) {
     PageId page;
     page.block = e.begin;

@@ -27,6 +27,9 @@ enum class StatusCode {
   kFailedPrecondition,
   kUnimplemented,
   kInternal,
+  // The operation cannot be served right now (e.g. the pager degraded to
+  // read-only after a hard I/O error); reads may still succeed.
+  kUnavailable,
 };
 
 // Returns a stable human-readable name, e.g. "IO_ERROR".
@@ -75,6 +78,7 @@ Status ResourceExhaustedError(std::string message);
 Status FailedPreconditionError(std::string message);
 Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
+Status UnavailableError(std::string message);
 
 // Result<T> holds either a value or a non-OK Status.
 template <typename T>

@@ -90,10 +90,20 @@ Result<std::unique_ptr<IntervalIndex>> IntervalIndex::OpenFromDisk(
   SEGIDX_ASSIGN_OR_RETURN(
       std::unique_ptr<storage::FileBlockDevice> device,
       storage::FileBlockDevice::Open(path, /*create=*/false));
+  return OpenFromDevice(std::move(device), options);
+}
+
+Result<std::unique_ptr<IntervalIndex>> IntervalIndex::OpenFromDevice(
+    std::unique_ptr<storage::BlockDevice> device,
+    const IndexOptions& options) {
   SEGIDX_ASSIGN_OR_RETURN(
       std::unique_ptr<storage::Pager> pager,
       storage::Pager::Open(std::move(device), options.pager));
+  return OpenWithPager(std::move(pager), options);
+}
 
+Result<std::unique_ptr<IntervalIndex>> IntervalIndex::OpenWithPager(
+    std::unique_ptr<storage::Pager> pager, const IndexOptions& options) {
   const std::vector<uint8_t>& meta = pager->user_meta();
   if (meta.size() < kCoreMetaBytes) {
     return CorruptionError("missing index facade metadata");
@@ -129,9 +139,20 @@ Result<std::unique_ptr<IntervalIndex>> IntervalIndex::OpenFromDisk(
       kind, std::move(pager), std::move(tree), std::move(skel)));
 }
 
+Status IntervalIndex::CheckWritable() const {
+  if (pager_->format_version() == 1) {
+    return FailedPreconditionError(
+        "format v1 index files are read-only; recreate the index to write");
+  }
+  return Status::OK();
+}
+
 Status IntervalIndex::Insert(const Rect& rect, TupleId tid) {
-  if (skeleton_ != nullptr) return skeleton_->Insert(rect, tid);
-  return tree_->Insert(rect, tid);
+  SEGIDX_RETURN_IF_ERROR(CheckWritable());
+  Status status = skeleton_ != nullptr ? skeleton_->Insert(rect, tid)
+                                       : tree_->Insert(rect, tid);
+  if (status.ok()) dirty_ = true;
+  return status;
 }
 
 Status IntervalIndex::InsertInterval(const Interval& x, Coord y,
@@ -143,7 +164,12 @@ Status IntervalIndex::Search(const Rect& query,
                              std::vector<rtree::SearchHit>* out,
                              uint64_t* nodes_accessed) {
   if (skeleton_ != nullptr) {
-    return skeleton_->Search(query, out, nodes_accessed);
+    // A search against a still-buffering skeleton builds the tree as a side
+    // effect, producing pages that need a checkpoint.
+    const bool was_building = !skeleton_->built();
+    Status status = skeleton_->Search(query, out, nodes_accessed);
+    if (status.ok() && was_building && skeleton_->built()) dirty_ = true;
+    return status;
   }
   return tree_->Search(query, out, nodes_accessed);
 }
@@ -184,7 +210,11 @@ Status IntervalIndex::BulkLoad(
         "bulk loading replaces skeleton pre-construction; use a "
         "non-skeleton index kind");
   }
-  return rtree::BulkLoad(tree_.get(), std::move(records), method);
+  SEGIDX_RETURN_IF_ERROR(CheckWritable());
+  SEGIDX_RETURN_IF_ERROR(
+      rtree::BulkLoad(tree_.get(), std::move(records), method));
+  dirty_ = true;
+  return Status::OK();
 }
 
 Status IntervalIndex::Delete(const Rect& rect, TupleId tid) {
@@ -192,21 +222,49 @@ Status IntervalIndex::Delete(const Rect& rect, TupleId tid) {
     return FailedPreconditionError(
         "cannot delete while the skeleton sample is buffering");
   }
-  return tree_->Delete(rect, tid);
+  SEGIDX_RETURN_IF_ERROR(CheckWritable());
+  SEGIDX_RETURN_IF_ERROR(tree_->Delete(rect, tid));
+  dirty_ = true;
+  return Status::OK();
 }
 
 Status IntervalIndex::Finalize() {
-  if (skeleton_ != nullptr) return skeleton_->Finalize();
+  if (skeleton_ == nullptr) return Status::OK();
+  const bool was_building = !skeleton_->built();
+  SEGIDX_RETURN_IF_ERROR(skeleton_->Finalize());
+  if (was_building && skeleton_->built()) dirty_ = true;
   return Status::OK();
 }
 
 Status IntervalIndex::Flush() {
+  SEGIDX_RETURN_IF_ERROR(CheckWritable());
   // Buffered sample records live only in memory; build before persisting.
   SEGIDX_RETURN_IF_ERROR(Finalize());
   SEGIDX_RETURN_IF_ERROR(tree_->SaveMeta());
   SEGIDX_RETURN_IF_ERROR(AppendCoreMeta(
       pager_.get(), kind_, skeleton_ == nullptr || skeleton_->built()));
-  return pager_->Checkpoint();
+  SEGIDX_RETURN_IF_ERROR(pager_->Checkpoint());
+  dirty_ = false;
+  return Status::OK();
+}
+
+Status IntervalIndex::Close() {
+  if (closed_) return Status::OK();
+  Status status = Status::OK();
+  if (dirty_) status = Flush();
+  closed_ = true;
+  return status;
+}
+
+IntervalIndex::~IntervalIndex() {
+  // Best effort: a failed final checkpoint leaves the previous durable
+  // checkpoint intact, so ignoring the status here never corrupts the file
+  // — it only loses the unflushed tail. Call Close() to observe failures.
+  const Status status = Close();
+  if (!status.ok()) {
+    std::fprintf(stderr, "segidx: final checkpoint failed in ~IntervalIndex: %s\n",
+                 status.ToString().c_str());
+  }
 }
 
 Status IntervalIndex::CheckInvariants() {

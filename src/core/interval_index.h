@@ -77,13 +77,33 @@ class IntervalIndex {
   static Result<std::unique_ptr<IntervalIndex>> CreateOnDisk(
       IndexKind kind, const std::string& path, const IndexOptions& options);
 
+  // Creates an index on a caller-supplied block device, formatting it from
+  // scratch. Useful for fault-injection tests (wrap a MemoryBlockDevice in
+  // a FaultInjectingBlockDevice) and custom backends.
+  static Result<std::unique_ptr<IntervalIndex>> CreateWithDevice(
+      IndexKind kind, std::unique_ptr<storage::BlockDevice> device,
+      const IndexOptions& options);
+
   // Re-opens an index persisted with Flush(). `options.pager` must match
   // the creation-time base block size; tree options are restored from the
   // file.
   static Result<std::unique_ptr<IntervalIndex>> OpenFromDisk(
       const std::string& path, const IndexOptions& options);
 
-  ~IntervalIndex() = default;
+  // Re-opens an index from a caller-supplied device (e.g. a crash image
+  // snapshot). Runs the same dual-slot recovery as OpenFromDisk; consult
+  // pager()->recovery_report() for what happened.
+  static Result<std::unique_ptr<IntervalIndex>> OpenFromDevice(
+      std::unique_ptr<storage::BlockDevice> device,
+      const IndexOptions& options);
+
+  // Flushes once if there are unpersisted mutations, then marks the index
+  // closed. Idempotent; later calls return OK without touching storage.
+  // The destructor calls Close() and swallows the status — call Close()
+  // explicitly to learn whether the final checkpoint made it to disk.
+  Status Close();
+
+  ~IntervalIndex();
   IntervalIndex(const IntervalIndex&) = delete;
   IntervalIndex& operator=(const IntervalIndex&) = delete;
 
@@ -172,9 +192,15 @@ class IntervalIndex {
         tree_(std::move(tree)),
         skeleton_(std::move(skeleton)) {}
 
-  static Result<std::unique_ptr<IntervalIndex>> CreateWithDevice(
-      IndexKind kind, std::unique_ptr<storage::BlockDevice> device,
-      const IndexOptions& options);
+  // Shared tail of OpenFromDisk / OpenFromDevice: facade metadata checks
+  // plus tree and skeleton resurrection.
+  static Result<std::unique_ptr<IntervalIndex>> OpenWithPager(
+      std::unique_ptr<storage::Pager> pager, const IndexOptions& options);
+
+  // Mutations on a legacy (format v1) file fail up front with
+  // kFailedPrecondition instead of half-applying in the buffer pool and
+  // then failing to checkpoint.
+  Status CheckWritable() const;
 
   IndexKind kind_;
   std::unique_ptr<storage::Pager> pager_;
@@ -182,6 +208,10 @@ class IntervalIndex {
   std::unique_ptr<skeleton::SkeletonIndex> skeleton_;  // Skeleton kinds only.
   // Lazily created by SearchBatch; rebuilt when the thread count changes.
   std::unique_ptr<exec::QueryEngine> engine_;
+  // True when mutations have happened since the last successful Flush();
+  // Close() only checkpoints when set.
+  bool dirty_ = false;
+  bool closed_ = false;
 };
 
 }  // namespace segidx::core

@@ -25,6 +25,8 @@ constexpr int kMaxReinsertIterations = 1 << 20;
 RTree::RTree(storage::Pager* pager, const TreeOptions& options)
     : options_(options), pager_(pager) {
   SEGIDX_CHECK(pager != nullptr);
+  checksum_kind_ = pager->format_version() == 1 ? PageChecksumKind::kFnv16
+                                                : PageChecksumKind::kCrc32c;
 }
 
 Result<std::unique_ptr<RTree>> RTree::Create(storage::Pager* pager,
@@ -60,7 +62,7 @@ Status RTree::SetupEmptyRoot() {
   root.level = 0;
   SEGIDX_ASSIGN_OR_RETURN(storage::PageHandle page,
                           pager_->Allocate(SizeClassForLevel(0)));
-  SEGIDX_RETURN_IF_ERROR(root.Serialize(page.data(), page.size()));
+  SEGIDX_RETURN_IF_ERROR(root.Serialize(page.data(), page.size(), checksum_kind_));
   page.MarkDirty();
   root_ = page.id();
   root_level_ = 0;
@@ -118,18 +120,18 @@ bool RTree::HasByteRoomForSpanning(const Node& node) const {
 Result<Node> RTree::ReadNode(storage::PageId id) {
   CountNodeAccess();
   SEGIDX_ASSIGN_OR_RETURN(storage::PageHandle page, pager_->Fetch(id));
-  return Node::Deserialize(page.data(), page.size());
+  return Node::Deserialize(page.data(), page.size(), checksum_kind_);
 }
 
 Result<Node> RTree::ReadNode(storage::PageId id, uint64_t* accesses) const {
   ++*accesses;
   SEGIDX_ASSIGN_OR_RETURN(storage::PageHandle page, pager_->Fetch(id));
-  return Node::Deserialize(page.data(), page.size());
+  return Node::Deserialize(page.data(), page.size(), checksum_kind_);
 }
 
 Status RTree::WriteNode(storage::PageId id, const Node& node) {
   SEGIDX_ASSIGN_OR_RETURN(storage::PageHandle page, pager_->Fetch(id));
-  SEGIDX_RETURN_IF_ERROR(node.Serialize(page.data(), page.size()));
+  SEGIDX_RETURN_IF_ERROR(node.Serialize(page.data(), page.size(), checksum_kind_));
   page.MarkDirty();
   return Status::OK();
 }
@@ -414,7 +416,7 @@ Result<BranchEntry> RTree::SplitNode(storage::PageId node_id, Node* node,
   SEGIDX_ASSIGN_OR_RETURN(storage::PageHandle page,
                           pager_->Allocate(SizeClassForLevel(node->level)));
   const storage::PageId sibling_id = page.id();
-  SEGIDX_RETURN_IF_ERROR(sibling.Serialize(page.data(), page.size()));
+  SEGIDX_RETURN_IF_ERROR(sibling.Serialize(page.data(), page.size(), checksum_kind_));
   page.MarkDirty();
   page.Release();
 
@@ -443,7 +445,7 @@ Status RTree::GrowRootAfterSplit(const BranchEntry& old_root,
 
   SEGIDX_ASSIGN_OR_RETURN(storage::PageHandle page,
                           pager_->Allocate(SizeClassForLevel(new_root.level)));
-  SEGIDX_RETURN_IF_ERROR(new_root.Serialize(page.data(), page.size()));
+  SEGIDX_RETURN_IF_ERROR(new_root.Serialize(page.data(), page.size(), checksum_kind_));
   page.MarkDirty();
   root_ = page.id();
   root_level_ = new_root.level;
@@ -711,7 +713,7 @@ Status RTree::PreBuild(const SkeletonSpec& spec) {
         SEGIDX_ASSIGN_OR_RETURN(
             storage::PageHandle page,
             pager_->Allocate(SizeClassForLevel(static_cast<int>(li))));
-        SEGIDX_RETURN_IF_ERROR(node.Serialize(page.data(), page.size()));
+        SEGIDX_RETURN_IF_ERROR(node.Serialize(page.data(), page.size(), checksum_kind_));
         page.MarkDirty();
         current[cy][cx] = Cell{page.id(), cell_rect};
         if (li == 0) leaf_mod_counts_[page.id().block] = 0;
@@ -738,7 +740,7 @@ Status RTree::PreBuild(const SkeletonSpec& spec) {
   }
   SEGIDX_ASSIGN_OR_RETURN(storage::PageHandle page,
                           pager_->Allocate(SizeClassForLevel(root.level)));
-  SEGIDX_RETURN_IF_ERROR(root.Serialize(page.data(), page.size()));
+  SEGIDX_RETURN_IF_ERROR(root.Serialize(page.data(), page.size(), checksum_kind_));
   page.MarkDirty();
   root_ = page.id();
   root_level_ = root.level;

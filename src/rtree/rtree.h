@@ -198,6 +198,9 @@ class RTree {
   const TreeStats& stats() const { return stats_; }
   void ResetStats() { stats_ = TreeStats(); }
   storage::Pager* pager() { return pager_; }
+  // Node-page checksum algorithm for this tree's file format (CRC32C for
+  // v2 files, folded FNV-1a for legacy v1 files).
+  PageChecksumKind checksum_kind() const { return checksum_kind_; }
 
   // Entry capacity of a leaf node.
   size_t LeafCapacity() const;
@@ -366,6 +369,8 @@ class RTree {
   void ForgetLeaf(uint32_t block);
 
   storage::Pager* pager_;
+  // Derived from pager_->format_version() at construction.
+  PageChecksumKind checksum_kind_ = PageChecksumKind::kCrc32c;
 
   storage::PageId root_;
   int root_level_ = 0;

@@ -4,8 +4,10 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <mutex>
+#include <thread>
 
 namespace segidx::storage {
 
@@ -16,18 +18,73 @@ Status ErrnoToStatus(const char* op, const std::string& detail) {
                  (detail.empty() ? "" : " (" + detail + ")"));
 }
 
+// EINTR/EAGAIN are transient: retry with capped exponential backoff instead
+// of surfacing them as hard I/O errors (which would needlessly flip the
+// pager into degraded mode). Returns false once the retry budget is spent.
+constexpr int kMaxTransientRetries = 8;
+
+bool BackoffTransient(int err, int attempt) {
+  if (err != EINTR && err != EAGAIN) return false;
+  if (attempt >= kMaxTransientRetries) return false;
+  if (err == EAGAIN) {
+    // 100us, 200us, ... capped at 5ms; EINTR retries immediately.
+    const auto delay = std::chrono::microseconds(
+        std::min<int64_t>(100ll << attempt, 5000));
+    std::this_thread::sleep_for(delay);
+  }
+  return true;
+}
+
+// Durably records a newly created file's directory entry.
+Status SyncParentDirectory(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) return ErrnoToStatus("open", dir);
+  const int rc = ::fsync(dfd);
+  const int saved_errno = errno;
+  ::close(dfd);
+  if (rc != 0) {
+    errno = saved_errno;
+    return ErrnoToStatus("fsync", dir);
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<std::unique_ptr<FileBlockDevice>> FileBlockDevice::Open(
     const std::string& path, bool create) {
-  int flags = O_RDWR;
-  if (create) flags |= O_CREAT;
-  const int fd = ::open(path.c_str(), flags, 0644);
-  if (fd < 0) return ErrnoToStatus("open", path);
+  bool created = false;
+  int fd = -1;
+  if (create) {
+    // O_EXCL first so we know whether the directory entry is new and needs
+    // its parent fsync'd for the file to survive a crash of this process.
+    fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_EXCL, 0644);
+    if (fd >= 0) {
+      created = true;
+    } else if (errno != EEXIST) {
+      return ErrnoToStatus("open", path);
+    }
+  }
+  if (fd < 0) {
+    fd = ::open(path.c_str(), O_RDWR);
+    if (fd < 0) return ErrnoToStatus("open", path);
+  }
   const off_t end = ::lseek(fd, 0, SEEK_END);
   if (end < 0) {
+    const Status st = ErrnoToStatus("lseek", path);
     ::close(fd);
-    return ErrnoToStatus("lseek", path);
+    return st;
+  }
+  if (created) {
+    const Status st = SyncParentDirectory(path);
+    if (!st.ok()) {
+      ::close(fd);
+      return st;
+    }
   }
   return std::unique_ptr<FileBlockDevice>(
       new FileBlockDevice(fd, static_cast<uint64_t>(end)));
@@ -42,15 +99,17 @@ Status FileBlockDevice::Read(uint64_t offset, size_t n, uint8_t* out) const {
     return OutOfRangeError("read past end of device");
   }
   size_t done = 0;
+  int transient = 0;
   while (done < n) {
     const ssize_t r = ::pread(fd_, out + done, n - done,
                               static_cast<off_t>(offset + done));
     if (r < 0) {
-      if (errno == EINTR) continue;
+      if (BackoffTransient(errno, transient++)) continue;
       return ErrnoToStatus("pread", "");
     }
     if (r == 0) return IoError("short read");
     done += static_cast<size_t>(r);
+    transient = 0;
   }
   return Status::OK();
 }
@@ -58,14 +117,16 @@ Status FileBlockDevice::Read(uint64_t offset, size_t n, uint8_t* out) const {
 Status FileBlockDevice::Write(uint64_t offset, const uint8_t* data,
                               size_t n) {
   size_t done = 0;
+  int transient = 0;
   while (done < n) {
     const ssize_t w = ::pwrite(fd_, data + done, n - done,
                                static_cast<off_t>(offset + done));
     if (w < 0) {
-      if (errno == EINTR) continue;
+      if (BackoffTransient(errno, transient++)) continue;
       return ErrnoToStatus("pwrite", "");
     }
     done += static_cast<size_t>(w);
+    transient = 0;
   }
   // Advance the high-water mark; concurrent writers race benignly, so CAS
   // up to the max.
@@ -79,7 +140,12 @@ Status FileBlockDevice::Write(uint64_t offset, const uint8_t* data,
 }
 
 Status FileBlockDevice::Sync() {
-  if (::fsync(fd_) != 0) return ErrnoToStatus("fsync", "");
+  int transient = 0;
+  while (::fsync(fd_) != 0) {
+    if (!BackoffTransient(errno, transient++)) {
+      return ErrnoToStatus("fsync", "");
+    }
+  }
   return Status::OK();
 }
 

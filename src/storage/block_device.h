@@ -75,6 +75,16 @@ class FileBlockDevice : public BlockDevice {
 class MemoryBlockDevice : public BlockDevice {
  public:
   MemoryBlockDevice() = default;
+  // Device pre-loaded with `image` (crash-recovery harnesses clone a device
+  // at a fault point and reopen the copy).
+  explicit MemoryBlockDevice(std::vector<uint8_t> image)
+      : bytes_(std::move(image)) {}
+
+  // Copy of the current contents.
+  std::vector<uint8_t> Snapshot() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return bytes_;
+  }
 
   Status Read(uint64_t offset, size_t n, uint8_t* out) const override;
   Status Write(uint64_t offset, const uint8_t* data, size_t n) override;

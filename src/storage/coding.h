@@ -8,6 +8,7 @@
 #ifndef SEGIDX_STORAGE_CODING_H_
 #define SEGIDX_STORAGE_CODING_H_
 
+#include <array>
 #include <cstdint>
 #include <cstring>
 
@@ -79,6 +80,40 @@ inline uint16_t Checksum16(const uint8_t* data, size_t n) {
   hash ^= hash >> 32;
   hash ^= hash >> 16;
   return static_cast<uint16_t>(hash);
+}
+
+namespace internal {
+
+// Lazily built lookup table for the Castagnoli polynomial (reflected
+// 0x82f63b78). Function-local static so header-only users share one copy.
+inline const uint32_t* Crc32cTable() {
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0x82f63b78u : 0);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table.data();
+}
+
+}  // namespace internal
+
+// CRC32C (Castagnoli) over a byte range. Guards the format-v2 superblock
+// slots, checkpoint journal, and node extents, where error detection
+// strength matters more than the last nanosecond (the table-driven form is
+// still a few bytes/cycle).
+inline uint32_t Crc32c(const uint8_t* data, size_t n, uint32_t seed = 0) {
+  const uint32_t* table = internal::Crc32cTable();
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ data[i]) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
 }
 
 }  // namespace segidx::storage

@@ -1,4 +1,5 @@
-// Paged storage manager: extent allocation plus a pinning buffer pool.
+// Paged storage manager: extent allocation plus a pinning buffer pool,
+// with crash-atomic checkpoints (format v2).
 //
 // The paper's indexes use *variable node sizes*: leaf nodes are one base
 // block (1 KB in the experiments) and the node size doubles at each level
@@ -8,6 +9,38 @@
 // first bytes of each free extent and anchored in the superblock, so index
 // files can be closed and reopened.
 //
+// Crash safety (format v2) rests on one invariant: between two
+// checkpoints, no block that the newest durable superblock slot can reach
+// (pages, free-list links, the slot itself, its journal) is ever written.
+// Everything the pager writes mid-epoch — evicted dirty pages, the next
+// checkpoint's journal — goes to freshly allocated blocks past the durable
+// high-water mark. Concretely:
+//
+//   * Two superblock slots live in blocks 0 and 1, each carrying a
+//     monotonically increasing checkpoint epoch and a CRC32C. Checkpoint()
+//     always writes the slot the newest durable state does NOT occupy, so a
+//     torn slot write leaves the previous slot (and everything it
+//     references) untouched.
+//   * Checkpoint() first serializes every change of the epoch — dirty page
+//     images, spilled pages being re-homed, free-list link updates — into a
+//     contiguous *journal* run of fresh blocks, syncs it, then writes and
+//     syncs the inactive slot (which records the run). Only after the slot
+//     is durable are the changes applied to their home locations; Open()
+//     replays the winning slot's journal, so those home writes need no
+//     final sync and may tear freely.
+//   * Evicting a dirty frame *spills* it to a fresh extent and records a
+//     home→spill redirect instead of overwriting the home block; Fetch()
+//     follows redirects. Free() only defers the extent to an in-memory
+//     pending list; links are threaded at the next checkpoint.
+//
+// Format v1 files (single superblock, no journal) still open, read-only.
+//
+// A hard I/O *write* failure (after the block device's own retries) flips
+// the pager into degraded read-only mode: Fetch() keeps serving, while
+// Allocate/Free/SetUserMeta/Checkpoint return kUnavailable and eviction
+// skips dirty frames. Transient EINTR/EAGAIN never reaches this layer —
+// FileBlockDevice retries those with capped backoff.
+//
 // Thread-safety contract (single-writer / multi-reader):
 //
 //   * Fetch(), PageHandle pin/unpin/MarkDirty, and the stats counters are
@@ -16,13 +49,15 @@
 //     partitions keyed by base block, so concurrent readers on different
 //     pages rarely contend; stats counters are updated with relaxed
 //     atomics.
-//   * Allocate(), Free(), SetUserMeta(), Flush(), and Checkpoint() mutate
-//     allocator state under one exclusive latch and must not run
-//     concurrently with each other. They MAY run concurrently with readers
-//     of *other* pages (eviction write-back already does), but freeing or
-//     reallocating a page some reader is concurrently fetching is a logical
-//     race the caller must prevent — the tree layer guarantees this by
-//     never exposing unreachable pages to readers.
+//   * Allocate(), Free(), SetUserMeta(), and Checkpoint() mutate allocator
+//     state under one exclusive latch and must not run concurrently with
+//     each other. They MAY run concurrently with readers of *other* pages
+//     (eviction spilling already does), but freeing or reallocating a page
+//     some reader is concurrently fetching is a logical race the caller
+//     must prevent — the tree layer guarantees this by never exposing
+//     unreachable pages to readers.
+//   * Lock order: a partition latch may be held while taking alloc_mu_
+//     (the spill and redirect-lookup paths do), never the reverse.
 //   * ResetStats() and FreeExtents() require external quiescence.
 //
 // LRU is maintained per partition; with `lru_partitions = 1` the pager
@@ -32,11 +67,13 @@
 #ifndef SEGIDX_STORAGE_PAGER_H_
 #define SEGIDX_STORAGE_PAGER_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -86,10 +123,14 @@ struct StorageStats {
   uint64_t logical_reads = 0;    // Fetch() calls (= node accesses).
   uint64_t cache_hits = 0;
   uint64_t physical_reads = 0;   // device reads caused by cache misses.
-  uint64_t physical_writes = 0;  // device writes (eviction + flush).
+  uint64_t physical_writes = 0;  // device writes (spills + checkpoints).
   uint64_t evictions = 0;
   uint64_t pages_allocated = 0;
   uint64_t pages_freed = 0;
+  uint64_t spills = 0;           // dirty evictions redirected to spill blocks.
+  uint64_t checkpoints = 0;      // completed (durable) checkpoints.
+  uint64_t degraded = 0;         // 1 once a hard write error forced
+                                 // read-only mode (survives ResetStats).
 };
 
 struct PagerOptions {
@@ -103,6 +144,24 @@ struct PagerOptions {
   // keyed by base block. More partitions means less latch contention for
   // concurrent readers; 1 restores exact global LRU. Clamped to [1, 256].
   uint32_t lru_partitions = 8;
+};
+
+// What Open() found: which superblock slot won, whether the other one was
+// unusable (a torn checkpoint we fell back across), and how much of the
+// winning checkpoint's journal was replayed.
+struct RecoveryReport {
+  uint32_t format_version = 0;
+  int active_slot = -1;       // Winning slot index (v2 files only).
+  uint64_t epoch = 0;         // Epoch of the recovered state.
+  // True when exactly one slot was usable — i.e. the file carries evidence
+  // of an interrupted checkpoint (or external damage) that Open() recovered
+  // across.
+  bool fell_back = false;
+  bool journal_replayed = false;
+  uint64_t journal_entries = 0;  // Total journal entries re-applied.
+  uint64_t pages_salvaged = 0;   // Full page images among those entries.
+  // Per-slot parse failure, empty when the slot was valid.
+  std::array<std::string, 2> slot_error;
 };
 
 class Pager;
@@ -146,12 +205,13 @@ class Pager {
   // Maximum bytes of tree-private metadata stored in the superblock.
   static constexpr size_t kUserMetaCapacity = 512;
 
-  // Formats a fresh device (writes the superblock).
+  // Formats a fresh device (writes both superblock slots).
   static Result<std::unique_ptr<Pager>> Create(
       std::unique_ptr<BlockDevice> device, const PagerOptions& options);
 
-  // Opens an existing formatted device; validates the superblock against
-  // `options.base_block_size`.
+  // Opens an existing formatted device; validates both superblock slots
+  // against `options.base_block_size`, adopts the newest usable checkpoint,
+  // and replays its journal. recovery_report() describes what happened.
   static Result<std::unique_ptr<Pager>> Open(
       std::unique_ptr<BlockDevice> device, const PagerOptions& options);
 
@@ -168,14 +228,15 @@ class Pager {
   // concurrent callers.
   Result<PageHandle> Fetch(PageId id);
 
-  // Returns an extent to the free list. The extent must be unpinned.
-  // Single-writer path.
+  // Returns an extent to the free list. The extent must be unpinned. The
+  // free becomes durable at the next Checkpoint(). Single-writer path.
   Status Free(PageId id);
 
-  // Writes back every dirty frame (cache stays populated).
-  Status Flush();
-
-  // Flush + superblock write + device sync. The pager remains usable.
+  // Makes the current state durable: journals every change of this epoch,
+  // syncs, publishes the inactive superblock slot, syncs again, then
+  // applies the changes home. A crash at any point leaves the file
+  // openable at either this or the previous checkpoint. The pager remains
+  // usable.
   Status Checkpoint();
 
   // Tree-private metadata persisted in the superblock at Checkpoint().
@@ -191,8 +252,21 @@ class Pager {
   // accounting in experiments.
   uint64_t allocated_blocks() const { return next_block_; }
 
+  // 2 for v2 files (dual superblock slots), 1 for legacy v1 files.
+  uint32_t format_version() const { return format_version_; }
+  // First block available to data extents (after the superblock slot(s)).
+  uint32_t first_data_block() const { return format_version_ == 1 ? 1 : 2; }
+  // Epoch of the newest durable checkpoint (v2; 0 for v1 files).
+  uint64_t epoch() const { return epoch_; }
+  // True once a hard write error flipped the pager read-only.
+  bool degraded() const {
+    return degraded_.load(std::memory_order_relaxed);
+  }
+  // What Open()/Create() found; stable for the pager's lifetime.
+  const RecoveryReport& recovery_report() const { return report_; }
+
   const StorageStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = StorageStats(); }
+  void ResetStats();
 
   // Number of currently pinned / cached frames across every partition
   // (for tests / leak detection).
@@ -201,10 +275,12 @@ class Pager {
   // Bytes currently held by the buffer pool across every partition.
   size_t cached_bytes() const;
 
-  // Every extent currently on a free list, by walking the per-size-class
-  // lists on the device. Used by the structure checker's page-accounting
-  // pass: reachable extents + free extents must exactly tile the allocated
-  // block range. Fails with kCorruption on a cyclic or out-of-range list.
+  // Every extent not holding a reachable home page: the durable
+  // per-size-class lists (walked on the device), frees pending the next
+  // checkpoint, retired journal/spill scrap awaiting re-threading, and live
+  // spill extents. Used by the structure checker's page-accounting pass:
+  // reachable extents + these must exactly tile the allocated block range.
+  // Fails with kCorruption on a cyclic or out-of-range device list.
   Result<std::vector<PageId>> FreeExtents() const;
 
  private:
@@ -228,12 +304,56 @@ class Pager {
     size_t cached_bytes = 0;
   };
 
+  // Where an evicted dirty page's bytes currently live.
+  struct SpillSlot {
+    uint32_t block = kInvalidBlock;
+    uint8_t size_class = 0;
+  };
+
+  // Decoded superblock slot.
+  struct SlotState {
+    uint64_t epoch = 0;
+    uint32_t next_block = 0;
+    uint32_t log_start = 0;
+    uint32_t log_blocks = 0;
+    // The previous checkpoint's journal run (the other slot's journal).
+    // Keeping it recorded — and unrecycled for one extra epoch — means the
+    // fallback slot's journal is never overwritten while that slot is still
+    // on disk, so even external destruction of the newest slot leaves a
+    // fully replayable older checkpoint.
+    uint32_t prev_log_start = 0;
+    uint32_t prev_log_blocks = 0;
+    uint8_t max_size_class = 0;
+    std::vector<uint32_t> free_heads;
+    std::vector<uint8_t> user_meta;
+  };
+
   friend class PageHandle;
 
   Pager(std::unique_ptr<BlockDevice> device, const PagerOptions& options);
 
-  Status WriteSuperblock();  // Caller holds alloc_mu_ (or is init-time).
+  // kFailedPrecondition for v1 files, kUnavailable when degraded.
+  Status CheckMutable() const;
+  void EnterDegraded();
+
   Status ReadSuperblock();
+  Status OpenLegacyV1(const std::vector<uint8_t>& block0);
+  Status ParseSlot(const uint8_t* buf, SlotState* out) const;
+  // Serializes a slot image for `state` into a base-block-sized buffer.
+  std::vector<uint8_t> SerializeSlot(const SlotState& state) const;
+  // Validates the journal recorded by `slot` fully in memory, then applies
+  // it to the device. Validation failures leave the device untouched (the
+  // caller can fall back to the other slot); only apply-time write errors
+  // mutate anything. Touches no member state besides the device.
+  Status ReplayJournal(const SlotState& slot, std::vector<PageId>* scraps,
+                       uint64_t* entries, uint64_t* salvaged);
+  // Adopts `slot` as the live state (free lists, epoch, scrap).
+  void AdoptSlot(int index, const SlotState& slot,
+                 std::vector<PageId> scraps);
+
+  // Greedily splits the block run [start, start + blocks) into extents no
+  // larger than the maximum size class.
+  std::vector<PageId> ChopRun(uint32_t start, uint32_t blocks) const;
 
   uint64_t BlockOffset(uint32_t block) const {
     return static_cast<uint64_t>(block) * options_.base_block_size;
@@ -250,8 +370,12 @@ class Pager {
                           std::vector<uint8_t> bytes, bool dirty);
 
   // Evicts unpinned LRU frames until the partition is within its budget.
-  // Caller holds part.mu.
-  Status EnforceCapacityLocked(Partition& part);
+  // Dirty victims spill (v2); frames that cannot be persisted (degraded
+  // mode) are skipped. Caller holds part.mu.
+  void EnforceCapacityLocked(Partition& part);
+  // Writes `frame`'s bytes to its spill extent (allocating one on first
+  // spill). Caller holds part.mu; takes alloc_mu_ internally.
+  Status SpillFrame(uint32_t home, const Frame& frame);
   void Unpin(uint32_t block);
   void MarkFrameDirty(uint32_t block);
 
@@ -263,10 +387,33 @@ class Pager {
   size_t partition_budget_ = 0;  // buffer_pool_bytes / num_partitions_.
   std::unique_ptr<Partition[]> partitions_;
 
-  // Allocation state (persisted in the superblock), guarded by alloc_mu_.
+  uint32_t format_version_ = 2;
+  std::atomic<bool> degraded_{false};
+  RecoveryReport report_;
+
+  // Allocation state, guarded by alloc_mu_. free_heads_ mirrors the newest
+  // durable slot's on-device lists; pending_free_ holds extents freed this
+  // epoch (preferred by Allocate, LIFO); run_scrap_ holds retired journal
+  // runs and absorbed spill extents (reused only after the device lists);
+  // redirects_ maps home blocks of spilled dirty pages to their current
+  // spill extents.
   mutable std::mutex alloc_mu_;
-  uint32_t next_block_ = 1;  // Block 0 is the superblock.
+  uint64_t epoch_ = 0;
+  int active_slot_ = 0;
+  uint32_t next_block_ = 2;  // Blocks 0 and 1 are the superblock slots.
+  // Journal runs of the newest durable checkpoint and of the one before it.
+  // Both are off limits to the allocator: the active run is what Open()
+  // replays after a crash, and the fallback run keeps the *other* slot
+  // replayable should the newest slot be destroyed. A retired run rejoins
+  // the free lists two checkpoints after it was written.
+  uint32_t active_log_start_ = 0;
+  uint32_t active_log_blocks_ = 0;
+  uint32_t fallback_log_start_ = 0;
+  uint32_t fallback_log_blocks_ = 0;
   std::vector<uint32_t> free_heads_;
+  std::vector<std::vector<uint32_t>> pending_free_;
+  std::vector<std::vector<uint32_t>> run_scrap_;
+  std::unordered_map<uint32_t, SpillSlot> redirects_;
   std::vector<uint8_t> user_meta_;
 };
 

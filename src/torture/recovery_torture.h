@@ -1,0 +1,74 @@
+// Crash-recovery torture harness (robustness work, ISSUE 4).
+//
+// Runs a deterministic insert/checkpoint workload against a
+// FaultInjectingBlockDevice twice over:
+//
+//   1. A clean baseline pass records, for every checkpoint, the pager epoch
+//      it produced, the set of tuple ids durable at that epoch, and the
+//      combined write+sync op index at which the checkpoint finished.
+//   2. A sweep then re-runs the identical workload once per fault point k,
+//      crashing the device at op k (optionally tearing the faulting write),
+//      snapshots the surviving image, re-opens it, and asserts:
+//        * the open succeeds (a torn checkpoint falls back, never bricks);
+//        * the recovered epoch is one the baseline made durable, and at
+//          least the newest checkpoint whose ops all preceded the crash;
+//        * the structure checker passes on the recovered tree;
+//        * a full-space search returns exactly the baseline's record set
+//          for the recovered epoch — nothing lost, nothing resurrected.
+//
+// The workload is deterministic (fixed-seed PRNG, single thread), so the
+// crashed run's op sequence is bit-identical to the baseline prefix and the
+// baseline oracle applies exactly.
+
+#ifndef SEGIDX_TORTURE_RECOVERY_TORTURE_H_
+#define SEGIDX_TORTURE_RECOVERY_TORTURE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/interval_index.h"
+
+namespace segidx::torture {
+
+struct TortureOptions {
+  core::IndexKind kind = core::IndexKind::kSRTree;
+  // Records inserted by the workload and how often it checkpoints.
+  uint64_t records = 300;
+  uint64_t checkpoint_every = 40;
+  // Bytes of the faulting write that reach the device before the crash
+  // (0 = the write vanishes whole; >0 = torn write).
+  size_t tear_bytes = 0;
+  // Cap on fault points to sweep; 0 sweeps every write+sync op after the
+  // initial checkpoint. When capped, points are spread evenly.
+  uint64_t max_fault_points = 0;
+  uint32_t seed = 1234;
+  // Stack configuration for every run; shrink `index.pager.pool_bytes` to
+  // force eviction/spill traffic into the fault window.
+  core::IndexOptions index;
+  // Print a progress line to stderr every ~10% of the sweep.
+  bool log_progress = false;
+};
+
+struct TortureReport {
+  uint64_t total_ops = 0;         // Baseline write+sync ops, end to end.
+  uint64_t first_fault_op = 0;    // Sweep starts here (after initial flush).
+  uint64_t fault_points_run = 0;
+  uint64_t checkpoints = 0;       // Oracle entries the baseline produced.
+  uint64_t fallbacks = 0;         // Recoveries served by the older slot.
+  uint64_t journal_replays = 0;   // Recoveries that re-applied a journal.
+  // One message per failed fault point (empty means the sweep passed).
+  std::vector<std::string> failures;
+
+  bool ok() const { return failures.empty(); }
+};
+
+// Runs the baseline plus the full crash sweep. Returns a non-OK status only
+// when the harness itself cannot run (e.g. the baseline workload fails);
+// per-fault-point recovery violations are reported in `failures`.
+Result<TortureReport> RunRecoveryTorture(const TortureOptions& options);
+
+}  // namespace segidx::torture
+
+#endif  // SEGIDX_TORTURE_RECOVERY_TORTURE_H_

@@ -51,7 +51,10 @@ void CorruptFile(const std::string& path, uint64_t offset, size_t n) {
 TEST(CorruptionTest, GarbageSuperblockIsRejected) {
   const std::string path =
       BuildIndexFile("corrupt_super", IndexKind::kRTree);
+  // Format v2 keeps two superblock slots (blocks 0 and 1); recovery falls
+  // back to the surviving slot, so reject-on-open needs both damaged.
   CorruptFile(path, 0, 64);
+  CorruptFile(path, 1024, 64);
   const auto result = IntervalIndex::OpenFromDisk(path, IndexOptions());
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kCorruption);

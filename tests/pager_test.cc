@@ -411,6 +411,9 @@ void CorruptFreeLink(uint32_t link_target) {
     a = pa->id();
   }
   ASSERT_TRUE(pager->Free(a).ok());
+  // Freed extents only reach the on-device chain at the next checkpoint;
+  // before that they sit in the in-memory pending list.
+  ASSERT_TRUE(pager->Checkpoint().ok());
   uint8_t link[4];
   EncodeU32(link, link_target);
   ASSERT_TRUE(
@@ -426,7 +429,7 @@ TEST(PagerTest, FreeExtentsRejectsOutOfRangeLink) {
 }
 
 TEST(PagerTest, FreeExtentsRejectsCyclicList) {
-  CorruptFreeLink(1);  // The freed extent is block 1: a self-loop.
+  CorruptFreeLink(2);  // The freed extent is block 2: a self-loop.
 }
 
 }  // namespace

@@ -11,6 +11,9 @@
 //                 [--no-quota=1] [--no-pages=1] [--max-violations=N]
 //   segidx bench-parallel --file=idx [--queries=N] [--qar=F]
 //                 [--threads=1,2,4,8] [--seed=S]
+//   segidx torture [--kind=srtree] [--records=N] [--checkpoint-every=N]
+//                 [--tear=BYTES] [--max-points=N] [--seed=S]
+//                 [--pool=BYTES] [--quiet=1]
 //
 // `verify` stops at the first violation; `check` runs the full
 // StructureChecker walk and prints every violation plus walk statistics.
@@ -18,6 +21,9 @@
 // `qar` of the root region) serially, then through the parallel
 // QueryEngine at each thread count, checking result sets stay identical
 // and reporting throughput.
+// `torture` runs the crash-recovery sweep (src/torture): an in-memory
+// insert/checkpoint workload is crashed at every write/sync index, the
+// surviving image re-opened, and structure + durable contents verified.
 //
 // Exit codes: 0 success, 1 runtime error / violations found, 2 usage error.
 
@@ -35,6 +41,7 @@
 
 #include "common/random.h"
 #include "core/interval_index.h"
+#include "torture/recovery_torture.h"
 
 namespace {
 
@@ -59,7 +66,11 @@ int Usage() {
       "          [--strict=1] [--no-quota=1] [--no-pages=1]\n"
       "          [--max-violations=N]\n"
       "  bench-parallel: [--queries=N] [--qar=F] [--threads=1,2,4,8]\n"
-      "          [--seed=S]\n");
+      "          [--seed=S]\n"
+      "  torture: crash-recovery sweep (no --file; runs in memory)\n"
+      "          [--kind=srtree] [--records=N] [--checkpoint-every=N]\n"
+      "          [--tear=BYTES] [--max-points=N] [--seed=S] [--pool=BYTES]\n"
+      "          [--quiet=1]\n");
   return 2;
 }
 
@@ -450,11 +461,63 @@ int CmdBenchParallel(const Args& args, const std::string& file) {
   return 0;
 }
 
+int CmdTorture(const Args& args) {
+  torture::TortureOptions options;
+  if (auto v = args.Get("kind")) {
+    const auto kind = ParseKind(*v);
+    if (!kind) {
+      std::fprintf(stderr, "unknown kind: %s\n", v->c_str());
+      return 2;
+    }
+    options.kind = *kind;
+  }
+  if (auto v = args.Get("records")) options.records = std::stoull(*v);
+  if (auto v = args.Get("checkpoint-every")) {
+    options.checkpoint_every = std::stoull(*v);
+  }
+  if (auto v = args.Get("tear")) options.tear_bytes = std::stoull(*v);
+  if (auto v = args.Get("max-points")) {
+    options.max_fault_points = std::stoull(*v);
+  }
+  if (auto v = args.Get("seed")) options.seed = std::stoul(*v);
+  if (auto v = args.Get("pool")) {
+    options.index.pager.buffer_pool_bytes = std::stoull(*v);
+  }
+  options.log_progress = !args.Get("quiet").has_value();
+
+  auto report = torture::RunRecoveryTorture(options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "torture harness failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "swept %llu fault points over ops [%llu, %llu), %llu checkpoints; "
+      "%llu slot fallbacks, %llu journal replays\n",
+      static_cast<unsigned long long>(report->fault_points_run),
+      static_cast<unsigned long long>(report->first_fault_op),
+      static_cast<unsigned long long>(report->total_ops),
+      static_cast<unsigned long long>(report->checkpoints),
+      static_cast<unsigned long long>(report->fallbacks),
+      static_cast<unsigned long long>(report->journal_replays));
+  if (!report->ok()) {
+    for (const std::string& failure : report->failures) {
+      std::fprintf(stderr, "FAIL %s\n", failure.c_str());
+    }
+    std::fprintf(stderr, "%zu fault points violated recovery guarantees\n",
+                 report->failures.size());
+    return 1;
+  }
+  std::printf("every crash point recovered to a consistent checkpoint\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto args = Parse(argc, argv);
   if (!args) return Usage();
+  if (args->command == "torture") return CmdTorture(*args);
   const auto file = args->Get("file");
   if (!file) return Usage();
 

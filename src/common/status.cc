@@ -28,6 +28,10 @@ const char* StatusCodeName(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kUnavailable:
       return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
   }
   return "UNKNOWN";
 }
@@ -74,6 +78,12 @@ Status InternalError(std::string message) {
 }
 Status UnavailableError(std::string message) {
   return Status(StatusCode::kUnavailable, std::move(message));
+}
+Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+Status CancelledError(std::string message) {
+  return Status(StatusCode::kCancelled, std::move(message));
 }
 
 }  // namespace segidx

@@ -30,6 +30,12 @@ enum class StatusCode {
   // The operation cannot be served right now (e.g. the pager degraded to
   // read-only after a hard I/O error); reads may still succeed.
   kUnavailable,
+  // The operation's deadline expired before it completed. Any partial
+  // output must be discarded by the caller.
+  kDeadlineExceeded,
+  // The operation was cancelled cooperatively (cancel token fired, or a
+  // batch aborted before the query was claimed).
+  kCancelled,
 };
 
 // Returns a stable human-readable name, e.g. "IO_ERROR".
@@ -79,6 +85,8 @@ Status FailedPreconditionError(std::string message);
 Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
 Status UnavailableError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status CancelledError(std::string message);
 
 // Result<T> holds either a value or a non-OK Status.
 template <typename T>

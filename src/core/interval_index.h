@@ -117,6 +117,12 @@ class IntervalIndex {
   // pieces (SR-Trees) surfaces once per piece.
   Status Search(const Rect& query, std::vector<rtree::SearchHit>* out,
                 uint64_t* nodes_accessed = nullptr);
+  // Same, with runtime controls (deadline, cancel token, partial results
+  // over damaged pages — see rtree::SearchOptions). A still-buffering
+  // skeleton index is finalized first, outside the deadline.
+  Status Search(const Rect& query, const rtree::SearchOptions& options,
+                std::vector<rtree::SearchHit>* out,
+                rtree::SearchOutcome* outcome = nullptr);
   // Logical result: distinct tuple ids intersecting `query`.
   Status SearchTuples(const Rect& query, std::vector<TupleId>* out,
                       uint64_t* nodes_accessed = nullptr);
@@ -128,6 +134,13 @@ class IntervalIndex {
   // The worker pool is created on first use and kept for subsequent
   // batches with the same thread count. Must not overlap with mutation.
   Status SearchBatch(const std::vector<Rect>& queries,
+                     std::vector<exec::BatchResult>* results,
+                     int num_threads = 4);
+  // Same, applying a per-batch deadline / cancel token / partial-results
+  // policy to every query (see exec::QueryEngine::SearchBatch for the
+  // per-entry status contract).
+  Status SearchBatch(const std::vector<Rect>& queries,
+                     const rtree::SearchOptions& options,
                      std::vector<exec::BatchResult>* results,
                      int num_threads = 4);
 
@@ -157,6 +170,15 @@ class IntervalIndex {
   // violation. See check/structure_checker.h for the invariant set.
   Result<check::CheckReport> CheckStructure(
       const check::CheckOptions& options = {});
+
+  // Online media scrub: CRC-verifies every reachable node page with a light
+  // structure pass (level / child-pointer / rectangle sanity), then runs the
+  // pager's scrub over the superblock slots and free extents — together the
+  // two passes tile the whole file. Rate-limited and cancellable via
+  // `options`; safe against a serving (read-only) index. Damaged node pages
+  // are quarantined when `options.quarantine_damaged` is set, so subsequent
+  // allow_partial searches skip them without re-reading bad media.
+  Result<storage::ScrubReport> Scrub(const storage::ScrubOptions& options = {});
 
   IndexKind kind() const { return kind_; }
   // Skeleton kinds: true while the distribution sample is still buffering

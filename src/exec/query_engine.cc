@@ -25,14 +25,26 @@ QueryEngine::~QueryEngine() {
 
 Status QueryEngine::SearchBatch(const std::vector<Rect>& queries,
                                 std::vector<BatchResult>* results) {
+  return SearchBatch(queries, rtree::SearchOptions(), results);
+}
+
+Status QueryEngine::SearchBatch(const std::vector<Rect>& queries,
+                                const rtree::SearchOptions& options,
+                                std::vector<BatchResult>* results) {
   results->clear();
   results->resize(queries.size());
+  // Every entry starts "not claimed"; workers overwrite the status of each
+  // query they actually execute, so an aborted batch leaves a precise
+  // record of which entries hold valid hits.
+  for (BatchResult& r : *results) {
+    r.status = CancelledError("query not claimed: batch aborted early");
+  }
   if (queries.empty()) return Status::OK();
 
   std::unique_lock<std::mutex> lock(mu_);
   queries_ = &queries;
   results_ = results;
-  batch_status_ = Status::OK();
+  options_ = &options;
   next_.store(0, std::memory_order_relaxed);
   failed_.store(false, std::memory_order_relaxed);
   active_workers_ = static_cast<int>(workers_.size());
@@ -41,7 +53,28 @@ Status QueryEngine::SearchBatch(const std::vector<Rect>& queries,
   done_cv_.wait(lock, [this] { return active_workers_ == 0; });
   queries_ = nullptr;
   results_ = nullptr;
-  return batch_status_;
+  options_ = nullptr;
+
+  // Derive the batch status from the per-entry statuses in query order so
+  // it does not depend on which worker reported first.
+  const Status* cancelled = nullptr;
+  const Status* deadline = nullptr;
+  for (const BatchResult& r : *results) {
+    if (r.status.ok()) continue;
+    switch (r.status.code()) {
+      case StatusCode::kCancelled:
+        if (cancelled == nullptr) cancelled = &r.status;
+        break;
+      case StatusCode::kDeadlineExceeded:
+        if (deadline == nullptr) deadline = &r.status;
+        break;
+      default:
+        return r.status;  // First hard error in query order wins.
+    }
+  }
+  if (cancelled != nullptr) return *cancelled;
+  if (deadline != nullptr) return *deadline;
+  return Status::OK();
 }
 
 void QueryEngine::WorkerLoop() {
@@ -49,6 +82,7 @@ void QueryEngine::WorkerLoop() {
   for (;;) {
     const std::vector<Rect>* queries;
     std::vector<BatchResult>* results;
+    const rtree::SearchOptions* options;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock,
@@ -57,20 +91,27 @@ void QueryEngine::WorkerLoop() {
       seen_gen = generation_;
       queries = queries_;
       results = results_;
+      options = options_;
     }
 
     uint64_t local_accesses = 0;
-    Status local_status = Status::OK();
     for (;;) {
       if (failed_.load(std::memory_order_relaxed)) break;
       const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
       if (i >= queries->size()) break;
       BatchResult& r = (*results)[i];
-      const Status s = tree_->Search((*queries)[i], &r.hits,
-                                     &r.nodes_accessed);
+      rtree::SearchOutcome outcome;
+      r.status = tree_->Search((*queries)[i], *options, &r.hits, &outcome);
+      r.nodes_accessed = outcome.nodes_accessed;
+      r.partial = outcome.partial;
+      r.skipped_subtrees = std::move(outcome.skipped_subtrees);
       local_accesses += r.nodes_accessed;
-      if (!s.ok()) {
-        local_status = s;
+      // Hard errors and cancellation stop the batch: nothing more is
+      // claimed. An expired deadline keeps claiming — each remaining
+      // query fails its first deadline check without touching a page, so
+      // every entry ends with its own kDeadlineExceeded status.
+      if (!r.status.ok() &&
+          r.status.code() != StatusCode::kDeadlineExceeded) {
         failed_.store(true, std::memory_order_relaxed);
         break;
       }
@@ -80,9 +121,6 @@ void QueryEngine::WorkerLoop() {
 
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (!local_status.ok() && batch_status_.ok()) {
-        batch_status_ = local_status;
-      }
       if (--active_workers_ == 0) done_cv_.notify_all();
     }
   }

@@ -34,10 +34,20 @@ struct QueryEngineOptions {
   int num_threads = 4;
 };
 
-// One query's outcome within a batch.
+// One query's outcome within a batch. SearchBatch pre-marks every entry
+// kCancelled ("not claimed"); a worker that executes the query overwrites
+// `status` with that query's real outcome, so after any batch — success,
+// error, cancel, or deadline — each entry states deterministically whether
+// its `hits` are valid (status ok), partial (ok + partial), or absent.
 struct BatchResult {
+  Status status = Status::OK();
   std::vector<rtree::SearchHit> hits;
   uint64_t nodes_accessed = 0;
+  // With SearchOptions::allow_partial, damaged subtrees are skipped rather
+  // than failing the query: `partial` is set and the skipped subtree roots
+  // are listed here. Hits outside the skipped subtrees are complete.
+  bool partial = false;
+  std::vector<storage::PageId> skipped_subtrees;
 };
 
 class QueryEngine {
@@ -50,10 +60,20 @@ class QueryEngine {
   QueryEngine& operator=(const QueryEngine&) = delete;
 
   // Executes every query and fills `results` (resized to queries.size(),
-  // same order). If any query fails, the first error is returned and the
-  // remaining unclaimed queries are skipped; `results` contents are then
-  // unspecified.
+  // same order). On failure the per-entry statuses say exactly which
+  // queries completed: executed entries carry their own status, unclaimed
+  // entries stay kCancelled. The returned batch status is derived from the
+  // entries in query order — the first hard error wins; otherwise
+  // kCancelled (cancel token fired) beats kDeadlineExceeded beats OK.
   Status SearchBatch(const std::vector<Rect>& queries,
+                     std::vector<BatchResult>* results);
+
+  // Same, with a per-batch deadline / cancel token / partial-results
+  // policy applied to every query. A fired cancel token stops unclaimed
+  // queries; an expired deadline fails each remaining query at its first
+  // node-fetch check without touching any pages.
+  Status SearchBatch(const std::vector<Rect>& queries,
+                     const rtree::SearchOptions& options,
                      std::vector<BatchResult>* results);
 
   // Total node accesses across every query of every batch so far.
@@ -75,8 +95,8 @@ class QueryEngine {
   bool stop_ = false;
   const std::vector<Rect>* queries_ = nullptr;   // Current batch.
   std::vector<BatchResult>* results_ = nullptr;
+  const rtree::SearchOptions* options_ = nullptr;
   int active_workers_ = 0;            // Workers still in the current batch.
-  Status batch_status_;               // First error of the current batch.
 
   std::atomic<size_t> next_{0};       // Next unclaimed query index.
   std::atomic<bool> failed_{false};   // Short-circuits the rest of a batch.

@@ -472,19 +472,77 @@ Status RTree::ProcessDemotions(InsertContext* /*ctx*/) {
 
 Status RTree::Search(const Rect& query, std::vector<SearchHit>* out,
                      uint64_t* nodes_accessed) {
+  SearchOutcome outcome;
+  const Status status = Search(query, SearchOptions(), out, &outcome);
+  if (nodes_accessed != nullptr) *nodes_accessed = outcome.nodes_accessed;
+  return status;
+}
+
+Status RTree::Search(const Rect& query, const SearchOptions& options,
+                     std::vector<SearchHit>* out, SearchOutcome* outcome) {
   if (!query.valid()) {
     return InvalidArgumentError("invalid query rectangle");
   }
-  // Searches run concurrently: count node accesses in a per-call local
-  // rather than the shared per-op counter the mutation path uses.
-  uint64_t accesses = 0;
+  SearchOutcome local;
+  SearchOutcome& oc = outcome != nullptr ? *outcome : local;
+  oc = SearchOutcome();
+  const Status status = SearchImpl(query, options, out, &oc);
+  // Shared stats are published on every exit path — an aborted search's
+  // node accesses still happened.
+  std::atomic_ref<uint64_t>(stats_.searches)
+      .fetch_add(1, std::memory_order_relaxed);
+  std::atomic_ref<uint64_t>(stats_.search_node_accesses)
+      .fetch_add(oc.nodes_accessed, std::memory_order_relaxed);
+  return status;
+}
 
+Status RTree::SearchImpl(const Rect& query, const SearchOptions& options,
+                         std::vector<SearchHit>* out,
+                         SearchOutcome* oc) const {
+  // Searches run concurrently: count node accesses in the per-call outcome
+  // rather than the shared per-op counter the mutation path uses.
   std::vector<storage::PageId> stack;
   stack.push_back(root_);
   while (!stack.empty()) {
+    // Deadline and cancellation fire at node-fetch granularity: a search
+    // never starts another page read past either, so a deadline of "now"
+    // costs zero node accesses.
+    if (options.cancel_token != nullptr &&
+        options.cancel_token->load(std::memory_order_relaxed)) {
+      return CancelledError("search cancelled after " +
+                            std::to_string(oc->nodes_accessed) +
+                            " node accesses");
+    }
+    if (options.deadline.has_value() &&
+        std::chrono::steady_clock::now() >= *options.deadline) {
+      return DeadlineExceededError("search deadline expired after " +
+                                   std::to_string(oc->nodes_accessed) +
+                                   " node accesses");
+    }
     const storage::PageId id = stack.back();
     stack.pop_back();
-    SEGIDX_ASSIGN_OR_RETURN(Node node, ReadNode(id, &accesses));
+    Result<Node> node_or = ReadNode(id, &oc->nodes_accessed);
+    if (!node_or.ok()) {
+      const StatusCode code = node_or.status().code();
+      const bool damage = code == StatusCode::kCorruption ||
+                          code == StatusCode::kIoError ||
+                          code == StatusCode::kInvalidArgument;
+      if (!options.allow_partial || !damage) return node_or.status();
+      // Skip the dead subtree and answer partially. Checksum/decode
+      // failures quarantine the page so later fetches fail fast without
+      // re-reading known-bad media; transient I/O errors are skipped but
+      // not quarantined (a retry may succeed). A full quarantine set
+      // means the damage is wider than per-page resilience should mask —
+      // fail hard so the operator runs salvage.
+      if (code == StatusCode::kCorruption && id.valid() &&
+          !pager_->QuarantinePage(id, node_or.status().message())) {
+        return node_or.status();
+      }
+      oc->partial = true;
+      oc->skipped_subtrees.push_back(id);
+      continue;
+    }
+    const Node& node = *node_or;
     if (node.is_leaf()) {
       for (const LeafEntry& e : node.records) {
         if (e.rect.Intersects(query)) {
@@ -507,12 +565,6 @@ Status RTree::Search(const Rect& query, std::vector<SearchHit>* out,
       }
     }
   }
-
-  std::atomic_ref<uint64_t>(stats_.searches)
-      .fetch_add(1, std::memory_order_relaxed);
-  std::atomic_ref<uint64_t>(stats_.search_node_accesses)
-      .fetch_add(accesses, std::memory_order_relaxed);
-  if (nodes_accessed != nullptr) *nodes_accessed = accesses;
   return Status::OK();
 }
 

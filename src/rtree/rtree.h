@@ -31,6 +31,8 @@
 #ifndef SEGIDX_RTREE_RTREE_H_
 #define SEGIDX_RTREE_RTREE_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -119,6 +121,34 @@ struct SearchHit {
   Rect rect;
 };
 
+// Per-query runtime controls, threaded from the public facade
+// (core::IntervalIndex) and the batch engine (exec::QueryEngine) down to
+// the node-fetch loop. Shared by the R-Tree and SR-Tree (one search path).
+struct SearchOptions {
+  // Absolute deadline. Checked before every node fetch, so a pre-expired
+  // deadline returns kDeadlineExceeded without touching a single node.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  // Cooperative cancellation, also checked before every node fetch. The
+  // token outlives the search; firing it mid-search returns kCancelled.
+  const std::atomic<bool>* cancel_token = nullptr;
+  // Resilience: when a node page cannot be read (quarantined, checksum or
+  // decode failure, device read error), skip the subtree rooted there and
+  // report a partial result instead of failing the search. Damaged pages
+  // are quarantined in the pager so later fetches fail fast. Off by
+  // default: an unqualified search never silently drops results.
+  bool allow_partial = false;
+};
+
+// What a search did beyond producing hits: its node-access count and, with
+// SearchOptions::allow_partial, which subtrees it had to skip.
+struct SearchOutcome {
+  uint64_t nodes_accessed = 0;
+  // True when at least one subtree was skipped; `hits` then underreports.
+  bool partial = false;
+  // Root pages of the skipped subtrees, in visit order.
+  std::vector<storage::PageId> skipped_subtrees;
+};
+
 // Pre-partitioned hierarchy description for Skeleton indexes (Section 4).
 // levels[0] is the leaf level. Level k has
 // (x_bounds.size()-1) * (y_bounds.size()-1) cells. Boundaries of level k+1
@@ -159,6 +189,15 @@ class RTree {
   // PreBuild/CoalesceSparseLeaves) runs at the same time.
   Status Search(const Rect& query, std::vector<SearchHit>* out,
                 uint64_t* nodes_accessed = nullptr);
+
+  // Same, with runtime controls: a deadline and cancel token checked at
+  // node-fetch granularity (kDeadlineExceeded / kCancelled), and optional
+  // skip-and-continue over damaged pages (see SearchOptions). `outcome`
+  // (optional) receives node-access and partial-result details; on a
+  // non-OK return it reflects the work done up to the abort.
+  Status Search(const Rect& query, const SearchOptions& options,
+                std::vector<SearchHit>* out,
+                SearchOutcome* outcome = nullptr);
 
   // Removes one stored entry equal to (rect, tid). Plain R-Tree only: an
   // SR-Tree scopes to insert + search (paper Section 3.1.1) and returns
@@ -319,6 +358,11 @@ class RTree {
   friend Status BulkLoadInternal(RTree* tree,
                                  std::vector<std::pair<Rect, TupleId>>*,
                                  int method, double fill_fraction);
+
+  // Search loop shared by both public overloads; accumulates node accesses
+  // and skipped subtrees into `oc` on every exit path.
+  Status SearchImpl(const Rect& query, const SearchOptions& options,
+                    std::vector<SearchHit>* out, SearchOutcome* oc) const;
 
   // Inserts one physical record (an original record, a cut remnant, or a
   // demoted spanning record).

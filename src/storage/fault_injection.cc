@@ -1,6 +1,7 @@
 #include "storage/fault_injection.h"
 
 #include <algorithm>
+#include <thread>
 
 namespace segidx::storage {
 
@@ -24,6 +25,27 @@ void FaultInjectingBlockDevice::FailNthRead(uint64_t n, bool sticky) {
   read_sticky_ = sticky;
 }
 
+void FaultInjectingBlockDevice::FailEveryKthRead(uint64_t k) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_read_every_ = k;
+}
+
+void FaultInjectingBlockDevice::CorruptRange(uint64_t offset, uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  corrupt_ranges_.emplace_back(offset, offset + n);
+}
+
+void FaultInjectingBlockDevice::ClearCorruptRanges() {
+  std::lock_guard<std::mutex> lock(mu_);
+  corrupt_ranges_.clear();
+}
+
+void FaultInjectingBlockDevice::SetReadDelay(
+    std::chrono::microseconds delay) {
+  std::lock_guard<std::mutex> lock(mu_);
+  read_delay_ = delay;
+}
+
 void FaultInjectingBlockDevice::CrashAtOp(uint64_t n, size_t tear_bytes) {
   std::lock_guard<std::mutex> lock(mu_);
   crash_at_op_ = n;
@@ -40,6 +62,9 @@ void FaultInjectingBlockDevice::ClearFaults() {
   fail_write_at_ = kNever;
   fail_sync_at_ = kNever;
   fail_read_at_ = kNever;
+  fail_read_every_ = 0;
+  corrupt_ranges_.clear();
+  read_delay_ = std::chrono::microseconds{0};
   crash_at_op_ = kNever;
   dead_ = false;
   read_only_ = false;
@@ -58,6 +83,8 @@ bool FaultInjectingBlockDevice::crashed() const {
 
 Status FaultInjectingBlockDevice::Read(uint64_t offset, size_t n,
                                        uint8_t* out) const {
+  std::chrono::microseconds delay{0};
+  std::vector<std::pair<uint64_t, uint64_t>> corrupt;
   {
     std::lock_guard<std::mutex> lock(mu_);
     const uint64_t index = counters_.reads++;
@@ -68,8 +95,22 @@ Status FaultInjectingBlockDevice::Read(uint64_t offset, size_t n,
       return IoError("injected read fault (EIO) at read #" +
                      std::to_string(index));
     }
+    if (fail_read_every_ != 0 && (index + 1) % fail_read_every_ == 0) {
+      ++counters_.faults_fired;
+      return IoError("injected flaky read fault (EIO) at read #" +
+                     std::to_string(index));
+    }
+    delay = read_delay_;
+    corrupt = corrupt_ranges_;
   }
-  return inner_->Read(offset, n, out);
+  if (delay.count() > 0) std::this_thread::sleep_for(delay);
+  SEGIDX_RETURN_IF_ERROR(inner_->Read(offset, n, out));
+  for (const auto& [lo, hi] : corrupt) {
+    const uint64_t begin = std::max(lo, offset);
+    const uint64_t end = std::min(hi, offset + n);
+    for (uint64_t i = begin; i < end; ++i) out[i - offset] ^= 0xff;
+  }
+  return Status::OK();
 }
 
 Status FaultInjectingBlockDevice::Write(uint64_t offset, const uint8_t* data,

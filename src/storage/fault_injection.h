@@ -1,11 +1,16 @@
-// Deterministic I/O fault injection for crash-safety testing.
+// Deterministic I/O fault injection for crash-safety and resilience testing.
 //
 // FaultInjectingBlockDevice decorates any BlockDevice with a scriptable
 // failure schedule: fail the Nth write/sync/read with a chosen errno-style
-// message, tear a write after K bytes, simulate a process crash at a given
-// op index (everything after the fault fails), or go read-only. Counters
-// expose how many ops of each kind reached the device so tests can assert
-// fault points precisely and torture harnesses can enumerate them.
+// message, fail every Kth read (a flaky cable — transient, later retries
+// of the same offset succeed), corrupt reads overlapping chosen byte
+// ranges (per-page damage targeting: the inner bytes stay intact, the
+// reader sees them flipped), delay every read (a slow device, for
+// deadline benchmarks), tear a write after K bytes, simulate a process
+// crash at a given op index (everything after the fault fails), or go
+// read-only. Counters expose how many ops of each kind reached the device
+// so tests can assert fault points precisely and torture harnesses can
+// enumerate them.
 //
 // The op index used by CrashAtOp() counts writes and syncs in issue order
 // (reads are not durability events). Index k is 0-based: CrashAtOp(0)
@@ -14,10 +19,12 @@
 #ifndef SEGIDX_STORAGE_FAULT_INJECTION_H_
 #define SEGIDX_STORAGE_FAULT_INJECTION_H_
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "storage/block_device.h"
@@ -48,6 +55,22 @@ class FaultInjectingBlockDevice : public BlockDevice {
   void FailNthSync(uint64_t n, bool sticky = false);
   // Fails the nth read from now (0-based; sticky fails all later reads).
   void FailNthRead(uint64_t n, bool sticky = false);
+
+  // Flaky reads: every kth read from now fails (k >= 1; the k-1 reads in
+  // between succeed). Unlike FailNthRead(sticky), the failure is
+  // transient — retrying the same offset later succeeds. 0 disables.
+  void FailEveryKthRead(uint64_t k);
+
+  // Per-page corruption targeting: reads overlapping [offset, offset+n)
+  // see those bytes inverted (the inner device is NOT modified, so the
+  // same image can be observed clean by dropping the range). Ranges
+  // accumulate until ClearCorruptRanges().
+  void CorruptRange(uint64_t offset, uint64_t n);
+  void ClearCorruptRanges();
+
+  // Injects latency into every read (a slow or contended device); zero
+  // disables. Used by the resilience benchmark to make deadlines bite.
+  void SetReadDelay(std::chrono::microseconds delay);
 
   // Simulates a crash at combined write+sync op index `n` (counted from
   // construction): that op fails — a write first tears `tear_bytes` bytes
@@ -90,6 +113,9 @@ class FaultInjectingBlockDevice : public BlockDevice {
   bool sync_sticky_ = false;
   uint64_t fail_read_at_ = kNever;
   bool read_sticky_ = false;
+  uint64_t fail_read_every_ = 0;  // 0 = off; else every kth read fails.
+  std::vector<std::pair<uint64_t, uint64_t>> corrupt_ranges_;  // [off, off+n)
+  std::chrono::microseconds read_delay_{0};
   uint64_t crash_at_op_ = kNever;
   size_t crash_tear_bytes_ = 0;
   bool dead_ = false;

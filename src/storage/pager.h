@@ -131,6 +131,10 @@ struct StorageStats {
   uint64_t checkpoints = 0;      // completed (durable) checkpoints.
   uint64_t degraded = 0;         // 1 once a hard write error forced
                                  // read-only mode (survives ResetStats).
+  uint64_t pages_quarantined = 0;  // Extents ever quarantined after a
+                                   // checksum/decode failure (survives
+                                   // ResetStats, like degraded).
+  uint64_t quarantine_hits = 0;    // Fetches rejected on quarantined pages.
 };
 
 struct PagerOptions {
@@ -162,6 +166,50 @@ struct RecoveryReport {
   uint64_t pages_salvaged = 0;   // Full page images among those entries.
   // Per-slot parse failure, empty when the slot was valid.
   std::array<std::string, 2> slot_error;
+};
+
+// One quarantined extent: a page whose bytes failed their checksum or
+// decode. The pager keeps serving every other page; readers treat the
+// subtree rooted here as missing (partial results) until the page is
+// freed, rebuilt, or the quarantine is cleared.
+struct QuarantinedPage {
+  PageId page;
+  std::string reason;
+};
+
+// Controls for the online media scrub (Pager::Scrub and the tree-walking
+// core::IntervalIndex::Scrub built on top of it).
+struct ScrubOptions {
+  // Rate limit: extents verified per second (0 = full speed). The scrub
+  // sleeps between extents to hold this pace, so it can run against a
+  // serving index without starving foreground reads.
+  uint64_t max_extents_per_second = 0;
+  // Cooperative cancellation: checked between extents; a fired token stops
+  // the scan early with ScrubReport::completed = false.
+  const std::atomic<bool>* cancel_token = nullptr;
+  // Register every damaged node page in the pager's quarantine set so
+  // subsequent searches skip it (core-layer scrub only).
+  bool quarantine_damaged = true;
+};
+
+// One damaged extent (or superblock slot) found by a scrub.
+struct ScrubDefect {
+  PageId page;        // invalid() for superblock-slot defects.
+  std::string error;
+};
+
+struct ScrubReport {
+  uint64_t extents_scanned = 0;    // Total extents examined.
+  uint64_t reachable_extents = 0;  // Tree node pages CRC-verified.
+  uint64_t free_extents = 0;       // Free/unreachable extents read-verified.
+  uint64_t bytes_scanned = 0;
+  uint64_t structure_errors = 0;   // Light structure pass findings.
+  bool completed = true;           // false when cancelled mid-scan.
+  std::vector<ScrubDefect> defects;
+
+  bool clean() const { return defects.empty(); }
+  // Human-readable multi-line summary (one line per defect).
+  std::string ToString() const;
 };
 
 class Pager;
@@ -275,6 +323,43 @@ class Pager {
   // Bytes currently held by the buffer pool across every partition.
   size_t cached_bytes() const;
 
+  // --- per-page quarantine -----------------------------------------------
+  //
+  // Whole-pager degraded mode is reserved for hard device *write* errors;
+  // a single page whose bytes fail their checksum or decode is instead
+  // quarantined individually, keeping every other page readable and the
+  // pager writable. Quarantined pages fail Fetch() fast with kCorruption
+  // (no device traffic), so a search can skip the dead subtree and report
+  // a partial result instead of re-reading known-bad media.
+
+  // Bound on the quarantine set: damage wider than this is no longer
+  // "a few bad pages" and should fail hard (run salvage instead).
+  static constexpr size_t kMaxQuarantinedPages = 256;
+
+  // Quarantines one extent. Returns false when the set is full and the
+  // page was not added (the caller should propagate the original error).
+  // Quarantining an already-quarantined block is a no-op returning true.
+  // Thread-safe.
+  bool QuarantinePage(PageId id, const std::string& reason);
+  bool IsQuarantined(uint32_t block) const;
+  size_t quarantined_count() const {
+    return quarantine_count_.load(std::memory_order_relaxed);
+  }
+  // Snapshot of the live quarantine set (for scrub and status surfaces).
+  std::vector<QuarantinedPage> QuarantinedPages() const;
+  // Forgets every quarantined page (after the damage was repaired or the
+  // subtree rebuilt). Freeing a quarantined extent also removes its entry.
+  void ClearQuarantine();
+
+  // Storage-level online scrub: verifies both superblock slots parse and
+  // reads every free/unreachable extent (FreeExtents) back from the
+  // device, surfacing media errors before a query trips over them. Node
+  // pages are NOT checksum-verified here — the pager does not know the
+  // page format; core::IntervalIndex::Scrub layers the reachable-page CRC
+  // walk on top and merges both into one report. Rate-limited and
+  // cancellable per ScrubOptions; safe to run concurrently with readers.
+  Result<ScrubReport> Scrub(const ScrubOptions& options = {}) const;
+
   // Every extent not holding a reachable home page: the durable
   // per-size-class lists (walked on the device), frees pending the next
   // checkpoint, retired journal/spill scrap awaiting re-threading, and live
@@ -386,6 +471,12 @@ class Pager {
   uint32_t num_partitions_ = 1;
   size_t partition_budget_ = 0;  // buffer_pool_bytes / num_partitions_.
   std::unique_ptr<Partition[]> partitions_;
+
+  // Quarantined extents keyed by first block. quarantine_count_ mirrors
+  // the map size so the Fetch fast path can skip the lock when empty.
+  mutable std::mutex quarantine_mu_;
+  std::atomic<size_t> quarantine_count_{0};
+  std::unordered_map<uint32_t, QuarantinedPage> quarantine_;
 
   uint32_t format_version_ = 2;
   std::atomic<bool> degraded_{false};

@@ -1,0 +1,67 @@
+// Corruption torture harness (runtime-resilience work, ISSUE 5).
+//
+// Where the crash torture (recovery_torture.h) truncates history at a fault
+// point, this harness damages *content*: it builds a deterministic index,
+// then over many rounds corrupts a random ancestor-free set of reachable
+// node extents in a copy of the image and asserts the resilience stack
+// tells the exact truth about the damage:
+//
+//   * IntervalIndex::Scrub reports precisely the corrupted extents — every
+//     one of them, and nothing else — and quarantines them;
+//   * an allow_partial full-space search stays OK, lists exactly the
+//     corrupted extents as skipped subtrees, and returns exactly the
+//     records with at least one piece outside the damaged subtrees;
+//   * the pager never enters whole-device degraded mode (content damage is
+//     a per-page problem);
+//   * salvage rebuilds a fresh index that passes the structure checker and
+//     contains exactly the records with at least one piece outside the
+//     damaged extents themselves (children of a damaged interior node are
+//     intact on disk, so salvage recovers more than the partial search).
+//
+// The corrupted sets are ancestor-free (no chosen extent lies inside
+// another's subtree) so the expected scrub/search/salvage sets are exact,
+// not bounds.
+
+#ifndef SEGIDX_TORTURE_SCRUB_TORTURE_H_
+#define SEGIDX_TORTURE_SCRUB_TORTURE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/interval_index.h"
+
+namespace segidx::torture {
+
+struct ScrubTortureOptions {
+  core::IndexKind kind = core::IndexKind::kSRTree;
+  uint64_t records = 400;
+  // Corruption rounds, each against a fresh copy of the baseline image.
+  uint64_t rounds = 20;
+  // Extents corrupted per round: 1..max, drawn per round.
+  uint64_t max_corrupt_per_round = 3;
+  uint32_t seed = 4321;
+  core::IndexOptions index;
+  bool log_progress = false;
+};
+
+struct ScrubTortureReport {
+  uint64_t rounds_run = 0;
+  uint64_t pages_corrupted = 0;   // Across all rounds.
+  uint64_t records_skipped = 0;   // Records partial searches had to drop.
+  uint64_t records_salvaged = 0;  // Records salvage brought back.
+  // One message per failed round (empty means the sweep passed).
+  std::vector<std::string> failures;
+
+  bool ok() const { return failures.empty(); }
+};
+
+// Runs the baseline build plus the corruption sweep. Returns non-OK only
+// when the harness itself cannot run; per-round violations are reported in
+// `failures`.
+Result<ScrubTortureReport> RunScrubTorture(const ScrubTortureOptions& options);
+
+}  // namespace segidx::torture
+
+#endif  // SEGIDX_TORTURE_SCRUB_TORTURE_H_

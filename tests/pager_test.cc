@@ -432,5 +432,59 @@ TEST(PagerTest, FreeExtentsRejectsCyclicList) {
   CorruptFreeLink(2);  // The freed extent is block 2: a self-loop.
 }
 
+TEST(PagerTest, QuarantineBlocksFetchUntilCleared) {
+  auto pager = MakeMemoryPager(PagerOptions());
+  PageId id;
+  {
+    auto page = pager->Allocate(0);
+    ASSERT_TRUE(page.ok());
+    id = page->id();
+    std::memset(page->data(), 0x7e, page->size());
+    page->MarkDirty();
+  }
+  ASSERT_TRUE(pager->Checkpoint().ok());
+
+  EXPECT_TRUE(pager->QuarantinePage(id, "checksum mismatch (test)"));
+  EXPECT_TRUE(pager->IsQuarantined(id.block));
+  EXPECT_EQ(pager->quarantined_count(), 1u);
+  // Re-quarantining the same extent is idempotent, not a second slot.
+  EXPECT_TRUE(pager->QuarantinePage(id, "again"));
+  EXPECT_EQ(pager->quarantined_count(), 1u);
+
+  const auto fetch = pager->Fetch(id);
+  ASSERT_FALSE(fetch.ok());
+  EXPECT_EQ(fetch.status().code(), StatusCode::kCorruption);
+  // Quarantine is page-scoped: the pager itself stays healthy.
+  EXPECT_FALSE(pager->degraded());
+
+  const auto listed = pager->QuarantinedPages();
+  ASSERT_EQ(listed.size(), 1u);
+  EXPECT_EQ(listed[0].page, id);
+
+  pager->ClearQuarantine();
+  EXPECT_EQ(pager->quarantined_count(), 0u);
+  auto page = pager->Fetch(id);
+  ASSERT_TRUE(page.ok()) << page.status().ToString();
+  EXPECT_EQ(page->data()[0], 0x7e);
+}
+
+TEST(PagerTest, QuarantineSetIsBounded) {
+  auto pager = MakeMemoryPager(PagerOptions());
+  for (size_t i = 0; i < Pager::kMaxQuarantinedPages; ++i) {
+    PageId id;
+    id.block = static_cast<uint32_t>(100 + i);
+    id.size_class = 0;
+    EXPECT_TRUE(pager->QuarantinePage(id, "fill"));
+  }
+  EXPECT_EQ(pager->quarantined_count(), Pager::kMaxQuarantinedPages);
+  PageId overflow;
+  overflow.block = 99999;
+  overflow.size_class = 0;
+  // A full set refuses new entries so a mass-corruption event cannot turn
+  // every search into a silent near-empty partial result.
+  EXPECT_FALSE(pager->QuarantinePage(overflow, "one too many"));
+  EXPECT_FALSE(pager->IsQuarantined(overflow.block));
+}
+
 }  // namespace
 }  // namespace segidx::storage

@@ -11,9 +11,15 @@
 //                 [--no-quota=1] [--no-pages=1] [--max-violations=N]
 //   segidx bench-parallel --file=idx [--queries=N] [--qar=F]
 //                 [--threads=1,2,4,8] [--seed=S]
-//   segidx torture [--kind=srtree] [--records=N] [--checkpoint-every=N]
-//                 [--tear=BYTES] [--max-points=N] [--seed=S]
-//                 [--pool=BYTES] [--quiet=1]
+//   segidx scrub  --file=idx [--rate=EXTENTS_PER_SEC] [--no-quarantine=1]
+//   segidx salvage --file=damaged --out=new [--kind=rtree|srtree]
+//   segidx bench-resilience [--records=N] [--queries=N] [--repeats=N]
+//                 [--threads=N] [--delay-us=N] [--deadline-us=N]
+//                 [--pool=BYTES] [--seed=S] [--out=JSON_PATH]
+//   segidx torture [--mode=crash|scrub] [--kind=srtree] [--records=N]
+//                 [--checkpoint-every=N] [--tear=BYTES] [--max-points=N]
+//                 [--rounds=N] [--corrupt=N] [--seed=S] [--pool=BYTES]
+//                 [--quiet=1]
 //
 // `verify` stops at the first violation; `check` runs the full
 // StructureChecker walk and prints every violation plus walk statistics.
@@ -21,9 +27,18 @@
 // `qar` of the root region) serially, then through the parallel
 // QueryEngine at each thread count, checking result sets stay identical
 // and reporting throughput.
-// `torture` runs the crash-recovery sweep (src/torture): an in-memory
-// insert/checkpoint workload is crashed at every write/sync index, the
-// surviving image re-opened, and structure + durable contents verified.
+// `scrub` CRC-verifies every reachable node page plus the superblock slots
+// and free extents (exit 1 when defects are found); `salvage` scavenges
+// every decodable record out of a damaged file into a fresh index at
+// --out. `bench-resilience` measures batch query latency with and without
+// per-batch deadlines under injected slow reads (in memory) and emits a
+// JSON summary. `torture` runs the crash-recovery sweep (--mode=crash,
+// default) or the content-corruption scrub/salvage sweep (--mode=scrub);
+// both run in memory, no --file.
+//
+// Every command that opens an index file prints the pager's recovery
+// report to stderr (slot fallbacks and journal replays are operator
+// signals).
 //
 // Exit codes: 0 success, 1 runtime error / violations found, 2 usage error.
 
@@ -41,7 +56,10 @@
 
 #include "common/random.h"
 #include "core/interval_index.h"
+#include "core/salvage.h"
+#include "storage/fault_injection.h"
 #include "torture/recovery_torture.h"
+#include "torture/scrub_torture.h"
 
 namespace {
 
@@ -67,10 +85,20 @@ int Usage() {
       "          [--max-violations=N]\n"
       "  bench-parallel: [--queries=N] [--qar=F] [--threads=1,2,4,8]\n"
       "          [--seed=S]\n"
-      "  torture: crash-recovery sweep (no --file; runs in memory)\n"
-      "          [--kind=srtree] [--records=N] [--checkpoint-every=N]\n"
-      "          [--tear=BYTES] [--max-points=N] [--seed=S] [--pool=BYTES]\n"
-      "          [--quiet=1]\n");
+      "  scrub:  verify every extent  [--rate=EXTENTS_PER_SEC]\n"
+      "          [--no-quarantine=1]\n"
+      "  salvage: rebuild from a damaged file  --out=NEW_PATH\n"
+      "          [--kind=rtree|srtree]\n"
+      "  bench-resilience: deadline latency bench (no --file; in memory)\n"
+      "          [--records=N] [--queries=N] [--repeats=N] [--threads=N]\n"
+      "          [--delay-us=N] [--deadline-us=N] [--pool=BYTES] [--seed=S]\n"
+      "          [--out=JSON_PATH]\n"
+      "  torture: fault sweeps (no --file; runs in memory)\n"
+      "          --mode=crash (default): [--kind=srtree] [--records=N]\n"
+      "          [--checkpoint-every=N] [--tear=BYTES] [--max-points=N]\n"
+      "          --mode=scrub: [--kind=srtree] [--records=N] [--rounds=N]\n"
+      "          [--corrupt=N]\n"
+      "          common: [--seed=S] [--pool=BYTES] [--quiet=1]\n");
   return 2;
 }
 
@@ -142,6 +170,32 @@ IndexOptions OptionsFrom(const Args& args) {
   return options;
 }
 
+// Opens an index file and surfaces the pager's recovery report on stderr —
+// a slot fallback or journal replay is an operator signal even when the
+// command itself succeeds.
+Result<std::unique_ptr<IntervalIndex>> OpenIndex(const Args& args,
+                                                 const std::string& file) {
+  auto opened = IntervalIndex::OpenFromDisk(file, OptionsFrom(args));
+  if (opened.ok()) {
+    const storage::RecoveryReport& rec =
+        (*opened)->pager()->recovery_report();
+    std::string line =
+        "recovery: format v" + std::to_string(rec.format_version);
+    if (rec.active_slot >= 0) {
+      line += ", slot " + std::to_string(rec.active_slot);
+    }
+    line += ", epoch " + std::to_string(rec.epoch);
+    if (rec.fell_back) line += ", FELL BACK to the older superblock slot";
+    if (rec.journal_replayed) {
+      line += ", replayed " + std::to_string(rec.journal_entries) +
+              " journal entries (" + std::to_string(rec.pages_salvaged) +
+              " page images)";
+    }
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+  return opened;
+}
+
 int CmdCreate(const Args& args, const std::string& file) {
   const auto kind_name = args.Get("kind");
   if (!kind_name) return Usage();
@@ -166,7 +220,7 @@ int CmdCreate(const Args& args, const std::string& file) {
 }
 
 int CmdInsert(const Args& args, const std::string& file) {
-  auto opened = IntervalIndex::OpenFromDisk(file, OptionsFrom(args));
+  auto opened = OpenIndex(args, file);
   if (!opened.ok()) {
     std::fprintf(stderr, "open failed: %s\n",
                  opened.status().ToString().c_str());
@@ -240,7 +294,7 @@ int CmdQuery(const Args& args, const std::string& file) {
   size_t limit = 20;
   if (auto v = args.Get("limit")) limit = std::stoull(*v);
 
-  auto opened = IntervalIndex::OpenFromDisk(file, OptionsFrom(args));
+  auto opened = OpenIndex(args, file);
   if (!opened.ok()) {
     std::fprintf(stderr, "open failed: %s\n",
                  opened.status().ToString().c_str());
@@ -271,7 +325,7 @@ int CmdQuery(const Args& args, const std::string& file) {
 }
 
 int CmdStats(const Args& args, const std::string& file) {
-  auto opened = IntervalIndex::OpenFromDisk(file, OptionsFrom(args));
+  auto opened = OpenIndex(args, file);
   if (!opened.ok()) {
     std::fprintf(stderr, "open failed: %s\n",
                  opened.status().ToString().c_str());
@@ -306,7 +360,7 @@ int CmdStats(const Args& args, const std::string& file) {
 }
 
 int CmdVerify(const Args& args, const std::string& file) {
-  auto opened = IntervalIndex::OpenFromDisk(file, OptionsFrom(args));
+  auto opened = OpenIndex(args, file);
   if (!opened.ok()) {
     std::fprintf(stderr, "open failed: %s\n",
                  opened.status().ToString().c_str());
@@ -322,7 +376,7 @@ int CmdVerify(const Args& args, const std::string& file) {
 }
 
 int CmdCheck(const Args& args, const std::string& file) {
-  auto opened = IntervalIndex::OpenFromDisk(file, OptionsFrom(args));
+  auto opened = OpenIndex(args, file);
   if (!opened.ok()) {
     std::fprintf(stderr, "open failed: %s\n",
                  opened.status().ToString().c_str());
@@ -381,7 +435,7 @@ int CmdBenchParallel(const Args& args, const std::string& file) {
     if (thread_counts.empty()) return Usage();
   }
 
-  auto opened = IntervalIndex::OpenFromDisk(file, OptionsFrom(args));
+  auto opened = OpenIndex(args, file);
   if (!opened.ok()) {
     std::fprintf(stderr, "open failed: %s\n",
                  opened.status().ToString().c_str());
@@ -461,7 +515,250 @@ int CmdBenchParallel(const Args& args, const std::string& file) {
   return 0;
 }
 
+int CmdScrub(const Args& args, const std::string& file) {
+  auto opened = OpenIndex(args, file);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  storage::ScrubOptions options;
+  if (auto v = args.Get("rate")) {
+    options.max_extents_per_second = std::stoull(*v);
+  }
+  if (auto v = args.Get("no-quarantine"); v.has_value() && *v != "0") {
+    options.quarantine_damaged = false;
+  }
+  auto report = (*opened)->Scrub(options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "scrub failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(report->ToString().c_str(), stdout);
+  if (!report->clean() && options.quarantine_damaged) {
+    std::printf("%zu page(s) quarantined; partial searches will skip them "
+                "— run `segidx salvage` to rebuild\n",
+                (*opened)->pager()->quarantined_count());
+  }
+  return report->clean() ? 0 : 1;
+}
+
+int CmdSalvage(const Args& args, const std::string& file) {
+  const auto out = args.Get("out");
+  if (!out) return Usage();
+  core::SalvageOptions options;
+  if (auto v = args.Get("kind")) {
+    const auto kind = ParseKind(*v);
+    if (!kind || core::IsSkeleton(*kind)) {
+      std::fprintf(stderr,
+                   "salvage rebuild kind must be rtree or srtree\n");
+      return 2;
+    }
+    options.rebuild_kind = *kind;
+  }
+  auto report = core::SalvageFile(file, *out, options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "salvage failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", report->ToString().c_str());
+
+  // Prove the rebuilt index is sound before anyone relies on it.
+  auto reopened = IntervalIndex::OpenFromDisk(*out, IndexOptions());
+  if (!reopened.ok()) {
+    std::fprintf(stderr, "rebuilt index does not open: %s\n",
+                 reopened.status().ToString().c_str());
+    return 1;
+  }
+  if (auto st = (*reopened)->CheckInvariants(); !st.ok()) {
+    std::fprintf(stderr, "rebuilt index fails structure check: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  std::printf("rebuilt index at %s passes all structural checks\n",
+              out->c_str());
+  return 0;
+}
+
+int CmdBenchResilience(const Args& args) {
+  uint64_t num_records = 2000;
+  size_t num_queries = 64;
+  size_t repeats = 30;
+  int threads = 2;
+  uint64_t delay_us = 50;
+  uint64_t deadline_us = 2000;
+  uint64_t seed = 42;
+  if (auto v = args.Get("records")) num_records = std::stoull(*v);
+  if (auto v = args.Get("queries")) num_queries = std::stoull(*v);
+  if (auto v = args.Get("repeats")) repeats = std::stoull(*v);
+  if (auto v = args.Get("threads")) threads = std::stoi(*v);
+  if (auto v = args.Get("delay-us")) delay_us = std::stoull(*v);
+  if (auto v = args.Get("deadline-us")) deadline_us = std::stoull(*v);
+  if (auto v = args.Get("seed")) seed = std::stoull(*v);
+
+  IndexOptions options;
+  // A small pool forces physical reads, so the injected device latency is
+  // actually felt by the search path.
+  options.pager.buffer_pool_bytes = 16 * 1024;
+  if (auto v = args.Get("pool")) {
+    options.pager.buffer_pool_bytes = std::stoull(*v);
+  }
+
+  auto device = std::make_unique<storage::FaultInjectingBlockDevice>(
+      std::make_unique<storage::MemoryBlockDevice>());
+  storage::FaultInjectingBlockDevice* dev = device.get();
+  auto created = IntervalIndex::CreateWithDevice(
+      IndexKind::kSRTree, std::move(device), options);
+  if (!created.ok()) {
+    std::fprintf(stderr, "create failed: %s\n",
+                 created.status().ToString().c_str());
+    return 1;
+  }
+  auto index = std::move(created).value();
+
+  Rng rng(seed);
+  for (uint64_t i = 0; i < num_records; ++i) {
+    const double s = rng.Uniform(0.0, 1000.0);
+    const Rect rect(Interval(s, s + rng.Uniform(0.5, 40.0)),
+                    Interval::Point(rng.Uniform(0.0, 1000.0)));
+    if (auto st = index->Insert(rect, i + 1); !st.ok()) {
+      std::fprintf(stderr, "insert failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  if (auto st = index->Flush(); !st.ok()) {
+    std::fprintf(stderr, "flush failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::vector<Rect> queries;
+  queries.reserve(num_queries);
+  for (size_t i = 0; i < num_queries; ++i) {
+    const double x = rng.Uniform(0.0, 950.0);
+    const double y = rng.Uniform(0.0, 950.0);
+    queries.emplace_back(x, x + 50.0, y, y + 50.0);
+  }
+
+  dev->SetReadDelay(std::chrono::microseconds(delay_us));
+
+  using Clock = std::chrono::steady_clock;
+  auto percentile = [](std::vector<double> ms, double p) {
+    std::sort(ms.begin(), ms.end());
+    const size_t idx = static_cast<size_t>(p * (ms.size() - 1) + 0.5);
+    return ms[idx];
+  };
+  // One measured pass: `repeats` batches, recording each batch's wall time
+  // and how many entries timed out.
+  auto run = [&](bool with_deadline, std::vector<double>* batch_ms,
+                 uint64_t* exceeded) -> bool {
+    for (size_t r = 0; r < repeats; ++r) {
+      rtree::SearchOptions so;
+      if (with_deadline) {
+        so.deadline = Clock::now() + std::chrono::microseconds(deadline_us);
+      }
+      std::vector<exec::BatchResult> results;
+      const auto t0 = Clock::now();
+      const Status st = index->SearchBatch(queries, so, &results, threads);
+      batch_ms->push_back(
+          std::chrono::duration<double, std::milli>(Clock::now() - t0)
+              .count());
+      if (!st.ok() && st.code() != StatusCode::kDeadlineExceeded) {
+        std::fprintf(stderr, "batch failed: %s\n", st.ToString().c_str());
+        return false;
+      }
+      for (const exec::BatchResult& res : results) {
+        if (res.status.code() == StatusCode::kDeadlineExceeded) ++*exceeded;
+      }
+    }
+    return true;
+  };
+
+  std::vector<double> base_ms, deadline_ms;
+  uint64_t base_exceeded = 0, deadline_exceeded = 0;
+  if (!run(false, &base_ms, &base_exceeded)) return 1;
+  if (!run(true, &deadline_ms, &deadline_exceeded)) return 1;
+
+  char json[640];
+  std::snprintf(
+      json, sizeof(json),
+      "{\"bench\": \"resilience\", \"records\": %llu, \"queries\": %zu, "
+      "\"repeats\": %zu, \"threads\": %d, \"read_delay_us\": %llu, "
+      "\"deadline_us\": %llu, "
+      "\"no_deadline\": {\"p50_ms\": %.3f, \"p99_ms\": %.3f}, "
+      "\"with_deadline\": {\"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+      "\"deadline_exceeded_entries\": %llu}}\n",
+      static_cast<unsigned long long>(num_records), num_queries, repeats,
+      threads, static_cast<unsigned long long>(delay_us),
+      static_cast<unsigned long long>(deadline_us),
+      percentile(base_ms, 0.50), percentile(base_ms, 0.99),
+      percentile(deadline_ms, 0.50), percentile(deadline_ms, 0.99),
+      static_cast<unsigned long long>(deadline_exceeded));
+  std::fputs(json, stdout);
+  if (auto out = args.Get("out")) {
+    std::ofstream f(*out);
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", out->c_str());
+      return 1;
+    }
+    f << json;
+  }
+  return 0;
+}
+
+int CmdScrubTorture(const Args& args) {
+  torture::ScrubTortureOptions options;
+  if (auto v = args.Get("kind")) {
+    const auto kind = ParseKind(*v);
+    if (!kind) {
+      std::fprintf(stderr, "unknown kind: %s\n", v->c_str());
+      return 2;
+    }
+    options.kind = *kind;
+  }
+  if (auto v = args.Get("records")) options.records = std::stoull(*v);
+  if (auto v = args.Get("rounds")) options.rounds = std::stoull(*v);
+  if (auto v = args.Get("corrupt")) {
+    options.max_corrupt_per_round = std::stoull(*v);
+  }
+  if (auto v = args.Get("seed")) options.seed = std::stoul(*v);
+  if (auto v = args.Get("pool")) {
+    options.index.pager.buffer_pool_bytes = std::stoull(*v);
+  }
+  options.log_progress = !args.Get("quiet").has_value();
+
+  auto report = torture::RunScrubTorture(options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "scrub torture harness failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "corrupted %llu pages over %llu rounds; partial searches dropped "
+      "%llu records, salvage recovered %llu\n",
+      static_cast<unsigned long long>(report->pages_corrupted),
+      static_cast<unsigned long long>(report->rounds_run),
+      static_cast<unsigned long long>(report->records_skipped),
+      static_cast<unsigned long long>(report->records_salvaged));
+  if (!report->ok()) {
+    for (const std::string& failure : report->failures) {
+      std::fprintf(stderr, "FAIL %s\n", failure.c_str());
+    }
+    std::fprintf(stderr, "%zu rounds violated resilience guarantees\n",
+                 report->failures.size());
+    return 1;
+  }
+  std::printf(
+      "every round: scrub found exactly the damage, searches stayed "
+      "partial-correct, salvage recovered all reachable records\n");
+  return 0;
+}
+
 int CmdTorture(const Args& args) {
+  if (auto mode = args.Get("mode"); mode.has_value() && *mode == "scrub") {
+    return CmdScrubTorture(args);
+  }
   torture::TortureOptions options;
   if (auto v = args.Get("kind")) {
     const auto kind = ParseKind(*v);
@@ -518,6 +815,9 @@ int main(int argc, char** argv) {
   const auto args = Parse(argc, argv);
   if (!args) return Usage();
   if (args->command == "torture") return CmdTorture(*args);
+  if (args->command == "bench-resilience") {
+    return CmdBenchResilience(*args);
+  }
   const auto file = args->Get("file");
   if (!file) return Usage();
 
@@ -530,5 +830,7 @@ int main(int argc, char** argv) {
   if (args->command == "bench-parallel") {
     return CmdBenchParallel(*args, *file);
   }
+  if (args->command == "scrub") return CmdScrub(*args, *file);
+  if (args->command == "salvage") return CmdSalvage(*args, *file);
   return Usage();
 }

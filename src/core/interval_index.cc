@@ -151,9 +151,17 @@ Status IntervalIndex::CheckWritable() const {
 
 Status IntervalIndex::Insert(const Rect& rect, TupleId tid) {
   SEGIDX_RETURN_IF_ERROR(CheckWritable());
-  Status status = skeleton_ != nullptr ? skeleton_->Insert(rect, tid)
-                                       : tree_->Insert(rect, tid);
-  if (status.ok()) dirty_ = true;
+  Status status;
+  if (skeleton_ != nullptr) {
+    // The skeleton's sample buffer is plain memory; serialize mutations on
+    // it here. Once built, inserts still flow through skeleton_->Insert
+    // (it forwards to the tree), so keep the lock unconditionally.
+    std::lock_guard<std::mutex> lock(skeleton_mu_);
+    status = skeleton_->Insert(rect, tid);
+  } else {
+    status = tree_->Insert(rect, tid);
+  }
+  if (status.ok()) dirty_.store(true, std::memory_order_relaxed);
   return status;
 }
 
@@ -167,10 +175,14 @@ Status IntervalIndex::Search(const Rect& query,
                              uint64_t* nodes_accessed) {
   if (skeleton_ != nullptr) {
     // A search against a still-buffering skeleton builds the tree as a side
-    // effect, producing pages that need a checkpoint.
+    // effect, producing pages that need a checkpoint; the lock serializes
+    // that build against concurrent skeleton mutation.
+    std::lock_guard<std::mutex> lock(skeleton_mu_);
     const bool was_building = !skeleton_->built();
     Status status = skeleton_->Search(query, out, nodes_accessed);
-    if (status.ok() && was_building && skeleton_->built()) dirty_ = true;
+    if (status.ok() && was_building && skeleton_->built()) {
+      dirty_.store(true, std::memory_order_relaxed);
+    }
     return status;
   }
   return tree_->Search(query, out, nodes_accessed);
@@ -230,9 +242,15 @@ Status IntervalIndex::BulkLoad(
         "non-skeleton index kind");
   }
   SEGIDX_RETURN_IF_ERROR(CheckWritable());
-  SEGIDX_RETURN_IF_ERROR(
-      rtree::BulkLoad(tree_.get(), std::move(records), method));
-  dirty_ = true;
+  {
+    // Bulk loading rebuilds the tree wholesale outside the latch
+    // protocol; run it alone.
+    rtree::PhaseGate::Scope gate(&tree_->phase_gate(),
+                                 rtree::PhaseGate::Mode::kExclusive);
+    SEGIDX_RETURN_IF_ERROR(
+        rtree::BulkLoad(tree_.get(), std::move(records), method));
+  }
+  dirty_.store(true, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -243,34 +261,58 @@ Status IntervalIndex::Delete(const Rect& rect, TupleId tid) {
   }
   SEGIDX_RETURN_IF_ERROR(CheckWritable());
   SEGIDX_RETURN_IF_ERROR(tree_->Delete(rect, tid));
-  dirty_ = true;
+  dirty_.store(true, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status IntervalIndex::Finalize() {
   if (skeleton_ == nullptr) return Status::OK();
+  std::lock_guard<std::mutex> lock(skeleton_mu_);
   const bool was_building = !skeleton_->built();
   SEGIDX_RETURN_IF_ERROR(skeleton_->Finalize());
-  if (was_building && skeleton_->built()) dirty_ = true;
+  if (was_building && skeleton_->built()) {
+    dirty_.store(true, std::memory_order_relaxed);
+  }
   return Status::OK();
 }
 
-Status IntervalIndex::Flush() {
+Status IntervalIndex::Commit() {
   SEGIDX_RETURN_IF_ERROR(CheckWritable());
   // Buffered sample records live only in memory; build before persisting.
   SEGIDX_RETURN_IF_ERROR(Finalize());
-  SEGIDX_RETURN_IF_ERROR(tree_->SaveMeta());
-  SEGIDX_RETURN_IF_ERROR(AppendCoreMeta(
-      pager_.get(), kind_, skeleton_ == nullptr || skeleton_->built()));
-  SEGIDX_RETURN_IF_ERROR(pager_->Checkpoint());
-  dirty_ = false;
-  return Status::OK();
+  // The checkpoint itself runs once per group-commit batch, on whichever
+  // caller the pager elects leader. It must not overlap tree mutation
+  // (Checkpoint snapshots the dirty-frame set), so the leader takes the
+  // tree's exclusive phase: batch members have already left the write
+  // phase (their mutations completed before they called Commit), and any
+  // unrelated writer drains out of the gate first — complete operations
+  // only, never a half-applied insert.
+  return pager_->GroupCommit([this]() -> Status {
+    rtree::PhaseGate::Scope gate(&tree_->phase_gate(),
+                                 rtree::PhaseGate::Mode::kExclusive);
+    SEGIDX_RETURN_IF_ERROR(tree_->SaveMeta());
+    SEGIDX_RETURN_IF_ERROR(AppendCoreMeta(
+        pager_.get(), kind_, skeleton_ == nullptr || skeleton_->built()));
+    SEGIDX_RETURN_IF_ERROR(pager_->Checkpoint());
+    // Clearing the flag here is conservative: a mutation racing this
+    // checkpoint re-raises it after the store, at worst costing one
+    // redundant checkpoint at Close.
+    dirty_.store(false, std::memory_order_relaxed);
+    return Status::OK();
+  });
 }
+
+Status IntervalIndex::Flush() { return Commit(); }
 
 Status IntervalIndex::Close() {
   if (closed_) return Status::OK();
   Status status = Status::OK();
-  if (dirty_) status = Flush();
+  // Commit() funnels through the pager's group-commit sequencer, so this
+  // final checkpoint queues behind any batch still in flight: every write
+  // acknowledged before Close() began is covered either by that batch's
+  // checkpoint or by this one. Nothing acknowledged is lost on a clean
+  // shutdown.
+  if (dirty_.load(std::memory_order_relaxed)) status = Flush();
   closed_ = true;
   return status;
 }
@@ -296,12 +338,20 @@ Status IntervalIndex::CheckInvariants() {
 
 Result<check::CheckReport> IntervalIndex::CheckStructure(
     const check::CheckOptions& options) {
+  // The checker's walk assumes a frozen tree and page accounting; run it
+  // alone. (Safe to call while writers are active — they just wait.)
+  rtree::PhaseGate::Scope gate(&tree_->phase_gate(),
+                               rtree::PhaseGate::Mode::kExclusive);
   check::StructureChecker checker(tree_.get(), options);
   return checker.Check();
 }
 
 Result<storage::ScrubReport> IntervalIndex::Scrub(
     const storage::ScrubOptions& options) {
+  // Scrub shares the read phase: it coexists with searches but excludes
+  // writers, so the reachability walk never chases a mid-split pointer.
+  rtree::PhaseGate::Scope gate(&tree_->phase_gate(),
+                               rtree::PhaseGate::Mode::kRead);
   using Clock = std::chrono::steady_clock;
   storage::ScrubReport report;
   const auto start = Clock::now();

@@ -17,11 +17,20 @@
 //   index->Insert(segidx::Rect(10, 500, 42, 42), /*tid=*/1);
 //   std::vector<segidx::TupleId> hits;
 //   index->SearchTuples(segidx::Rect(0, 100, 0, 100), &hits);
+//
+// Thread safety: Insert/Delete/Search/SearchBatch/Commit may be called
+// from any number of threads concurrently. Writers share the tree's write
+// phase under per-node latches; searches and batches run read-shared;
+// commits batch through the pager's group-commit sequencer. The full
+// contract — latch order, what readers may observe, crash guarantees —
+// is written down in docs/CONCURRENCY.md.
 
 #ifndef SEGIDX_CORE_INTERVAL_INDEX_H_
 #define SEGIDX_CORE_INTERVAL_INDEX_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -132,7 +141,10 @@ class IntervalIndex {
   // issuing each query through Search() serially. A still-buffering
   // skeleton index is finalized first (same auto-finalize as Search).
   // The worker pool is created on first use and kept for subsequent
-  // batches with the same thread count. Must not overlap with mutation.
+  // batches with the same thread count. Safe to call while other threads
+  // mutate: the batch holds the tree's read phase, so it sees a
+  // consistent snapshot and its results are deterministic for that
+  // snapshot (see docs/CONCURRENCY.md). One batch at a time per index.
   Status SearchBatch(const std::vector<Rect>& queries,
                      std::vector<exec::BatchResult>* results,
                      int num_threads = 4);
@@ -157,7 +169,16 @@ class IntervalIndex {
   // No-op otherwise.
   Status Finalize();
 
+  // Durable group commit: when Commit() returns OK, every mutation that
+  // completed before the call is checkpointed on disk. Concurrent callers
+  // are batched through the pager's group-commit sequencer — one
+  // checkpoint (and its fsyncs) covers the whole batch, so N writers
+  // committing on a cadence amortize the I/O N-fold. See
+  // docs/CONCURRENCY.md for the leader/joiner protocol.
+  Status Commit();
+
   // Persists tree metadata and all dirty pages; the index stays usable.
+  // Synonym for Commit() (kept for existing callers).
   Status Flush();
 
   // Deep structural validation (tests / debugging): runs the full
@@ -230,9 +251,13 @@ class IntervalIndex {
   std::unique_ptr<skeleton::SkeletonIndex> skeleton_;  // Skeleton kinds only.
   // Lazily created by SearchBatch; rebuilt when the thread count changes.
   std::unique_ptr<exec::QueryEngine> engine_;
-  // True when mutations have happened since the last successful Flush();
-  // Close() only checkpoints when set.
-  bool dirty_ = false;
+  // Serializes skeleton sample buffering / finalize (plain memory, unlike
+  // the tree's own latched write path). Uncontended for built skeletons.
+  std::mutex skeleton_mu_;
+  // True when mutations have happened since the last successful Commit();
+  // Close() only checkpoints when set. Raised by concurrent writers,
+  // cleared by the group-commit leader.
+  std::atomic<bool> dirty_{false};
   bool closed_ = false;
 };
 

@@ -41,6 +41,14 @@ Status QueryEngine::SearchBatch(const std::vector<Rect>& queries,
   }
   if (queries.empty()) return Status::OK();
 
+  // The batch runs under one read-phase admission held by this thread:
+  // writers are excluded for the whole batch, so the results are a
+  // consistent snapshot and deterministic regardless of worker timing.
+  // Workers use SearchGateHeld (never Search) — a nested gate entry from a
+  // worker could deadlock against the fairness rotation.
+  rtree::PhaseGate::Scope gate(&tree_->phase_gate(),
+                               rtree::PhaseGate::Mode::kRead);
+
   std::unique_lock<std::mutex> lock(mu_);
   queries_ = &queries;
   results_ = results;
@@ -101,7 +109,8 @@ void QueryEngine::WorkerLoop() {
       if (i >= queries->size()) break;
       BatchResult& r = (*results)[i];
       rtree::SearchOutcome outcome;
-      r.status = tree_->Search((*queries)[i], *options, &r.hits, &outcome);
+      r.status = tree_->SearchGateHeld((*queries)[i], *options, &r.hits,
+                                       &outcome);
       r.nodes_accessed = outcome.nodes_accessed;
       r.partial = outcome.partial;
       r.skipped_subtrees = std::move(outcome.skipped_subtrees);

@@ -7,10 +7,13 @@
 // running the same queries serially — workers claim whole queries, never
 // split one, so each result vector is produced by exactly one thread.
 //
-// Concurrency contract: SearchBatch() may not overlap with tree mutation
-// (Insert/Delete/bulk load) — the single-writer / multi-reader rule of the
-// storage layer. One batch runs at a time per engine; SearchBatch itself
-// is not reentrant.
+// Concurrency contract: SearchBatch() holds the tree's read phase
+// (PhaseGate) for the duration of the batch, so it may be called while
+// other threads Insert/Delete — mutation simply waits, and the batch sees
+// a consistent snapshot (results are deterministic for a given tree
+// state). Workers run RTree::SearchGateHeld under that one admission; see
+// docs/CONCURRENCY.md. One batch runs at a time per engine; SearchBatch
+// itself is not reentrant.
 
 #ifndef SEGIDX_EXEC_QUERY_ENGINE_H_
 #define SEGIDX_EXEC_QUERY_ENGINE_H_

@@ -1,0 +1,107 @@
+#include "exec/write_pool.h"
+
+#include <algorithm>
+
+namespace segidx::exec {
+
+WritePool::WritePool(rtree::RTree* tree, std::function<Status()> commit,
+                     const WritePoolOptions& options)
+    : tree_(tree),
+      commit_(std::move(commit)),
+      commit_every_(options.commit_every) {
+  const int n = std::clamp(options.num_threads, 1, 64);
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WritePool::~WritePool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+Status WritePool::ApplyBatch(const std::vector<WriteOp>& ops) {
+  if (ops.empty()) return Status::OK();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  ops_ = &ops;
+  batch_status_ = Status::OK();
+  next_.store(0, std::memory_order_relaxed);
+  failed_.store(false, std::memory_order_relaxed);
+  active_workers_ = static_cast<int>(workers_.size());
+  ++generation_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return active_workers_ == 0; });
+  ops_ = nullptr;
+  Status status = batch_status_;
+  lock.unlock();
+
+  // Final commit: every applied operation of the batch is durable before
+  // ApplyBatch acknowledges it. Runs even after a failed insert so the
+  // operations that did apply are not silently volatile.
+  if (commit_ != nullptr) {
+    Status commit_status = commit_();
+    if (status.ok()) status = std::move(commit_status);
+  }
+  return status;
+}
+
+void WritePool::WorkerLoop() {
+  uint64_t seen_gen = 0;
+  for (;;) {
+    const std::vector<WriteOp>* ops;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return stop_ || generation_ != seen_gen; });
+      if (stop_) return;
+      seen_gen = generation_;
+      ops = ops_;
+    }
+
+    uint64_t applied = 0;
+    uint64_t since_commit = 0;
+    Status first_error;
+    for (;;) {
+      if (failed_.load(std::memory_order_relaxed)) break;
+      const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= ops->size()) break;
+      const WriteOp& op = (*ops)[i];
+      Status status = tree_->Insert(op.rect, op.tid);
+      if (!status.ok()) {
+        first_error = std::move(status);
+        failed_.store(true, std::memory_order_relaxed);
+        break;
+      }
+      ++applied;
+      // Commit cadence: concurrent workers hitting this together are
+      // coalesced into one checkpoint by the group-commit sequencer.
+      if (commit_ != nullptr && commit_every_ > 0 &&
+          ++since_commit >= commit_every_) {
+        since_commit = 0;
+        status = commit_();
+        if (!status.ok()) {
+          first_error = std::move(status);
+          failed_.store(true, std::memory_order_relaxed);
+          break;
+        }
+      }
+    }
+    total_applied_.fetch_add(applied, std::memory_order_relaxed);
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error.ok() && batch_status_.ok()) {
+        batch_status_ = std::move(first_error);
+      }
+      if (--active_workers_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace segidx::exec

@@ -1,0 +1,105 @@
+// Parallel write execution over a concurrently-writable tree.
+//
+// WritePool is the mutation-side twin of QueryEngine: a fixed pool of
+// worker threads that fans a batch of insert operations out across them.
+// Each worker claims whole operations from a shared cursor and applies
+// them through RTree::Insert, which enters the tree's shared write phase
+// and latch-couples down the tree (docs/CONCURRENCY.md). Durability is
+// the caller's policy: an optional commit callback — typically
+// IntervalIndex::Commit, which batches through the pager's group-commit
+// sequencer — is invoked by each worker every `commit_every` applied
+// operations, and once more by ApplyBatch before it returns, so N workers
+// committing on a cadence amortize one checkpoint per group-commit batch.
+//
+// Concurrency contract: ApplyBatch may overlap with searches and with
+// SearchBatch on the same tree (phases alternate under the gate's
+// round-robin). One batch runs at a time per pool; ApplyBatch itself is
+// not reentrant.
+
+#ifndef SEGIDX_EXEC_WRITE_POOL_H_
+#define SEGIDX_EXEC_WRITE_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "rtree/rtree.h"
+
+namespace segidx::exec {
+
+struct WritePoolOptions {
+  // Worker threads in the pool; clamped to [1, 64]. With 1, the batch
+  // still runs on the (single) worker, exercising the same code path.
+  int num_threads = 4;
+  // Each worker invokes the commit callback after this many applied
+  // operations. 0 disables cadence commits; ApplyBatch still runs one
+  // final commit so no applied operation is left unacknowledged.
+  uint64_t commit_every = 0;
+};
+
+// One insert operation.
+struct WriteOp {
+  Rect rect;
+  TupleId tid = 0;
+};
+
+class WritePool {
+ public:
+  // The tree (and its pager) must outlive the pool. `commit` may be empty
+  // (no durability inside the batch; the caller checkpoints afterwards).
+  WritePool(rtree::RTree* tree, std::function<Status()> commit,
+            const WritePoolOptions& options);
+  ~WritePool();
+
+  WritePool(const WritePool&) = delete;
+  WritePool& operator=(const WritePool&) = delete;
+
+  // Applies every operation, spreading them across the workers, then (if
+  // a commit callback is set) commits once so the whole batch is durable
+  // on return. On the first failed insert the batch short-circuits:
+  // remaining unclaimed operations are skipped and the error is returned.
+  // Which operations were applied before a failure is unspecified beyond
+  // "every operation claimed before the failure was attempted".
+  Status ApplyBatch(const std::vector<WriteOp>& ops);
+
+  // Operations successfully applied across all batches so far.
+  uint64_t total_applied() const {
+    return total_applied_.load(std::memory_order_relaxed);
+  }
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  rtree::RTree* tree_;
+  std::function<Status()> commit_;
+  uint64_t commit_every_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // Workers wait for a batch (or stop).
+  std::condition_variable done_cv_;   // ApplyBatch waits for completion.
+  uint64_t generation_ = 0;           // Bumped once per batch.
+  bool stop_ = false;
+  const std::vector<WriteOp>* ops_ = nullptr;  // Current batch.
+  Status batch_status_;               // First error of the current batch.
+  int active_workers_ = 0;            // Workers still in the current batch.
+
+  std::atomic<size_t> next_{0};       // Next unclaimed operation index.
+  std::atomic<bool> failed_{false};   // Short-circuits the rest of a batch.
+  std::atomic<uint64_t> total_applied_{0};
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace segidx::exec
+
+#endif  // SEGIDX_EXEC_WRITE_POOL_H_

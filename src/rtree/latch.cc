@@ -1,0 +1,90 @@
+#include "rtree/latch.h"
+
+namespace segidx::rtree {
+
+bool PhaseGate::CanEnterLocked(Mode mode) const {
+  if (active_ == 0) {
+    // Empty gate: honor the turn if its mode has waiters, else first come.
+    return turn_ == mode || waiting_[static_cast<int>(turn_)] == 0;
+  }
+  if (active_mode_ != mode || mode == Mode::kExclusive) return false;
+  // Members of the batch admitted when this mode took its turn enter even
+  // if other modes are waiting; beyond the batch, piggyback only when no
+  // other mode waits, so one mode cannot starve the rest.
+  if (admit_quota_ > 0) return true;
+  const int m = static_cast<int>(mode);
+  return waiting_[(m + 1) % 3] == 0 && waiting_[(m + 2) % 3] == 0;
+}
+
+void PhaseGate::Enter(Mode mode) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const int m = static_cast<int>(mode);
+  ++waiting_[m];
+  cv_.wait(lock, [&] { return CanEnterLocked(mode); });
+  --waiting_[m];
+  if (active_ == 0) {
+    active_mode_ = mode;
+    turn_ = mode;
+    // Everyone of this mode already queued is admitted as one batch.
+    admit_quota_ = (mode == Mode::kExclusive) ? 0 : waiting_[m];
+  } else if (admit_quota_ > 0) {
+    --admit_quota_;
+  }
+  ++active_;
+  if (admit_quota_ > 0) {
+    // Batch peers may have re-blocked before the quota opened; wake them.
+    cv_.notify_all();
+  }
+}
+
+void PhaseGate::Exit(Mode mode) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (--active_ == 0) {
+    admit_quota_ = 0;
+    // Rotate the turn to the next mode with waiters (starting after the
+    // mode that just drained) so waiting modes are served round-robin.
+    const int from = static_cast<int>(mode);
+    for (int step = 1; step <= 3; ++step) {
+      const int candidate = (from + step) % 3;
+      if (waiting_[candidate] > 0) {
+        turn_ = static_cast<Mode>(candidate);
+        break;
+      }
+    }
+    cv_.notify_all();
+  }
+}
+
+NodeLatchTable::Guard NodeLatchTable::Acquire(uint32_t block) {
+  Guard::Entry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(map_mu_);
+    auto& slot = entries_[block];
+    if (slot == nullptr) {
+      slot = std::make_unique<Guard::Entry>();
+      slot->block = block;
+    }
+    entry = slot.get();
+    ++entry->refs;
+  }
+  // Block on the node latch without holding the map mutex.
+  entry->mu.lock();
+  return Guard(this, entry);
+}
+
+void NodeLatchTable::Guard::Release() {
+  if (entry_ == nullptr) return;
+  entry_->mu.unlock();
+  {
+    std::lock_guard<std::mutex> lock(table_->map_mu_);
+    if (--entry_->refs == 0) table_->entries_.erase(entry_->block);
+  }
+  table_ = nullptr;
+  entry_ = nullptr;
+}
+
+uint32_t NodeLatchTable::Guard::block() const {
+  return entry_ != nullptr ? entry_->block : 0;
+}
+
+}  // namespace segidx::rtree

@@ -1,0 +1,159 @@
+// Concurrency primitives for the tree write path (docs/CONCURRENCY.md).
+//
+// Two layers:
+//
+//  * PhaseGate — a three-mode gate (readers share / writers share /
+//    exclusive alone) that keeps structurally incompatible operations out
+//    of each other's way without per-node reader latches. Searches enter
+//    read-shared, Insert/Delete enter write-shared (and rely on node
+//    latches below for mutual exclusion among themselves), and whole-tree
+//    operations (checkpoint, invariant checks, bulk load, coalescing)
+//    enter exclusive. Mode turns rotate when other-mode waiters exist, so
+//    no mode can be starved indefinitely.
+//
+//  * NodeLatchTable — an exclusive latch per live node extent, keyed by
+//    the extent's first block. Writers crab these latches down the tree
+//    (parent-then-child order only, see docs/CONCURRENCY.md for the
+//    deadlock-freedom argument). Readers never touch node latches — they
+//    are excluded wholesale by the phase gate.
+//
+// Both are self-contained standard-library constructs; neither knows about
+// pages or nodes beyond the 32-bit block key.
+
+#ifndef SEGIDX_RTREE_LATCH_H_
+#define SEGIDX_RTREE_LATCH_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace segidx::rtree {
+
+// Three-way phase gate. Threads in the same shared mode run concurrently;
+// threads in different modes never overlap. kExclusive admits one thread
+// alone. Fairness: an entering thread yields to waiters of other modes
+// (it queues instead of piggybacking on its running mode), and on the last
+// exit the turn advances round-robin to the next mode with waiters.
+class PhaseGate {
+ public:
+  enum class Mode : int {
+    kRead = 0,       // Shared among searches.
+    kWrite = 1,      // Shared among Insert/Delete (node latches arbitrate).
+    kExclusive = 2,  // Alone: checkpoint, checks, bulk ops.
+  };
+
+  void Enter(Mode mode);
+  void Exit(Mode mode);
+
+  // RAII scope. Movable so it can be returned from helpers.
+  class Scope {
+   public:
+    Scope() = default;
+    Scope(PhaseGate* gate, Mode mode) : gate_(gate), mode_(mode) {
+      gate_->Enter(mode_);
+    }
+    Scope(Scope&& o) noexcept : gate_(o.gate_), mode_(o.mode_) {
+      o.gate_ = nullptr;
+    }
+    Scope& operator=(Scope&& o) noexcept {
+      if (this != &o) {
+        Release();
+        gate_ = o.gate_;
+        mode_ = o.mode_;
+        o.gate_ = nullptr;
+      }
+      return *this;
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() { Release(); }
+
+    void Release() {
+      if (gate_ != nullptr) {
+        gate_->Exit(mode_);
+        gate_ = nullptr;
+      }
+    }
+
+   private:
+    PhaseGate* gate_ = nullptr;
+    Mode mode_ = Mode::kRead;
+  };
+
+ private:
+  bool CanEnterLocked(Mode mode) const;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  Mode active_mode_ = Mode::kRead;
+  Mode turn_ = Mode::kRead;  // Mode favored when the gate drains empty.
+  int active_ = 0;
+  int admit_quota_ = 0;  // Same-mode waiters still owed entry this turn.
+  int waiting_[3] = {0, 0, 0};
+};
+
+// Exclusive latch per node extent, keyed by first block number. Entries are
+// created on demand and reclaimed when the last interested thread releases,
+// so the table stays proportional to the number of concurrently latched
+// nodes, not the tree size. The internal map mutex is never held while
+// blocking on an entry latch.
+class NodeLatchTable {
+ public:
+  NodeLatchTable() = default;
+  NodeLatchTable(const NodeLatchTable&) = delete;
+  NodeLatchTable& operator=(const NodeLatchTable&) = delete;
+
+  // Move-only RAII holder for one latched node.
+  class Guard {
+   public:
+    Guard() = default;
+    Guard(Guard&& o) noexcept : table_(o.table_), entry_(o.entry_) {
+      o.table_ = nullptr;
+      o.entry_ = nullptr;
+    }
+    Guard& operator=(Guard&& o) noexcept {
+      if (this != &o) {
+        Release();
+        table_ = o.table_;
+        entry_ = o.entry_;
+        o.table_ = nullptr;
+        o.entry_ = nullptr;
+      }
+      return *this;
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    ~Guard() { Release(); }
+
+    void Release();
+    bool held() const { return entry_ != nullptr; }
+    uint32_t block() const;
+
+   private:
+    friend class NodeLatchTable;
+    struct Entry {
+      std::mutex mu;
+      int refs = 0;
+      uint32_t block = 0;
+    };
+    Guard(NodeLatchTable* table, Entry* entry)
+        : table_(table), entry_(entry) {}
+
+    NodeLatchTable* table_ = nullptr;
+    Entry* entry_ = nullptr;
+  };
+
+  // Blocks until the latch on `block` is held. The caller must follow the
+  // tree latch order (parent before child; see docs/CONCURRENCY.md).
+  Guard Acquire(uint32_t block);
+
+ private:
+  std::mutex map_mu_;
+  std::unordered_map<uint32_t, std::unique_ptr<Guard::Entry>> entries_;
+};
+
+}  // namespace segidx::rtree
+
+#endif  // SEGIDX_RTREE_LATCH_H_

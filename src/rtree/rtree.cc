@@ -64,10 +64,12 @@ Status RTree::SetupEmptyRoot() {
                           pager_->Allocate(SizeClassForLevel(0)));
   SEGIDX_RETURN_IF_ERROR(root.Serialize(page.data(), page.size(), checksum_kind_));
   page.MarkDirty();
+  std::lock_guard<std::mutex> lock(meta_mu_);
   root_ = page.id();
   root_level_ = 0;
   root_region_valid_ = false;
-  record_count_ = 0;
+  std::atomic_ref<uint64_t>(record_count_)
+      .store(0, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -136,9 +138,15 @@ Status RTree::WriteNode(storage::PageId id, const Node& node) {
   return Status::OK();
 }
 
-void RTree::NoteLeafModified(uint32_t block) { ++leaf_mod_counts_[block]; }
+void RTree::NoteLeafModified(uint32_t block) {
+  std::lock_guard<std::mutex> lock(leaf_mu_);
+  ++leaf_mod_counts_[block];
+}
 
-void RTree::ForgetLeaf(uint32_t block) { leaf_mod_counts_.erase(block); }
+void RTree::ForgetLeaf(uint32_t block) {
+  std::lock_guard<std::mutex> lock(leaf_mu_);
+  leaf_mod_counts_.erase(block);
+}
 
 // ---------------------------------------------------------------------------
 // Insertion
@@ -148,7 +156,8 @@ Status RTree::Insert(const Rect& rect, TupleId tid) {
   if (!rect.valid()) {
     return InvalidArgumentError("invalid rectangle: " + rect.ToString());
   }
-  op_node_accesses_ = 0;
+  PhaseGate::Scope gate(&gate_, PhaseGate::Mode::kWrite);
+  uint64_t accesses = 0;
 
   std::deque<std::pair<Rect, TupleId>> queue;
   queue.emplace_back(rect, tid);
@@ -162,43 +171,106 @@ Status RTree::Insert(const Rect& rect, TupleId tid) {
     InsertContext ctx;
     SEGIDX_RETURN_IF_ERROR(InsertOne(r, t, &ctx));
     SEGIDX_RETURN_IF_ERROR(ProcessDemotions(&ctx));
+    accesses += ctx.node_accesses;
     for (auto& pending : ctx.reinserts) queue.push_back(std::move(pending));
   }
 
-  ++record_count_;
-  ++stats_.inserts;
-  stats_.insert_node_accesses += op_node_accesses_;
+  BumpTreeStat(record_count_);
+  BumpTreeStat(stats_.inserts);
+  BumpTreeStat(stats_.insert_node_accesses, accesses);
   return Status::OK();
 }
 
 Status RTree::InsertOne(const Rect& rect, TupleId tid, InsertContext* ctx) {
-  if (!root_region_valid_) {
-    root_region_ = rect;
-    root_region_valid_ = true;
+  // Root protocol: latch the root node first, then validate under meta_mu_
+  // that it still is the root (another writer may have grown or shrunk the
+  // tree between the read and the latch grant). Blocking on a node latch
+  // while holding meta_mu_ is forbidden, hence the retry loop.
+  storage::PageId root;
+  Rect root_region;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(meta_mu_);
+      root = root_;
+    }
+    NodeLatchTable::Guard guard = latch_table_.Acquire(root.block);
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    if (root_.block == root.block) {
+      root = root_;
+      if (!root_region_valid_) {
+        root_region_ = rect;
+        root_region_valid_ = true;
+      }
+      root_region = root_region_;
+      ctx->latches.push_back(std::move(guard));
+      break;
+    }
+    // The root moved while we latched the old one; retry against the new.
   }
+
   SEGIDX_ASSIGN_OR_RETURN(
       std::optional<BranchEntry> sibling,
-      InsertRecursive(root_, &root_region_, /*is_root=*/true, rect, tid,
+      InsertRecursive(root, &root_region, /*is_root=*/true, rect, tid,
                       ctx));
   if (sibling.has_value()) {
+    // A split reached the root, so no descendant was "safe" and the root
+    // latch is still held: growing the root cannot race another writer.
     BranchEntry old_root;
-    old_root.rect = root_region_;
-    old_root.child = root_;
+    old_root.rect = root_region;
+    old_root.child = root;
     SEGIDX_RETURN_IF_ERROR(GrowRootAfterSplit(old_root, *sibling));
+  } else if (!ctx->latches.empty() &&
+             ctx->latches.front().block() == root.block) {
+    // Root latch retained: the root region may have grown. When crabbing
+    // released it instead, containment held at the release point, so the
+    // root region provably did not change.
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    root_region_ = root_region;
   }
+  ctx->latches.clear();
   return Status::OK();
+}
+
+bool RTree::InsertSafe(const Node& node, const Rect& node_region,
+                       const Rect& rect) const {
+  // Region containment: nothing above this node expands.
+  if (!node_region.Contains(rect)) return false;
+  // Split immunity: one more entry (a record, or a branch from a child
+  // split) still fits. Under the kSplit spanning-overflow policy a
+  // spanning placement can split any non-leaf regardless of branch room,
+  // so non-leaves are never safe there.
+  if (node.is_leaf()) return node.records.size() + 1 <= LeafCapacity();
+  if (options_.enable_spanning &&
+      options_.spanning_overflow_policy == SpanningOverflowPolicy::kSplit) {
+    return false;
+  }
+  return node.branches.size() + 1 <= BranchCapacity(node.level) &&
+         node.SerializedBytes() + kBranchEntryBytes <= NodeBytes(node.level);
 }
 
 Result<std::optional<BranchEntry>> RTree::InsertRecursive(
     storage::PageId node_id, Rect* node_region, bool is_root,
     const Rect& rect, TupleId tid, InsertContext* ctx) {
-  SEGIDX_ASSIGN_OR_RETURN(Node node, ReadNode(node_id));
+  // The caller (InsertOne for the root, the parent frame otherwise)
+  // already holds this node's latch.
+  SEGIDX_ASSIGN_OR_RETURN(Node node, ReadNode(node_id, &ctx->node_accesses));
+
+  // Crabbing: once this node is safe — it cannot split and its region
+  // already contains the record — nothing can propagate above it, so the
+  // ancestor latches (the deque prefix) are released. Every write a
+  // released ancestor frame would perform is then provably a no-op: the
+  // child region it observes cannot change and Enclose(rect) is identity
+  // under containment.
+  if (!is_root && ctx->latches.size() > 1 &&
+      InsertSafe(node, *node_region, rect)) {
+    while (ctx->latches.size() > 1) ctx->latches.pop_front();
+  }
 
   if (node.is_leaf()) {
     node.records.push_back(LeafEntry{rect, tid});
     NoteLeafModified(node_id.block);
     if (node.records.size() > LeafCapacity()) {
-      ++stats_.leaf_splits;
+      BumpTreeStat(stats_.leaf_splits);
       Rect self_region;
       SEGIDX_ASSIGN_OR_RETURN(BranchEntry sibling,
                               SplitNode(node_id, &node, &self_region, ctx));
@@ -223,7 +295,7 @@ Result<std::optional<BranchEntry>> RTree::InsertRecursive(
     }
     if (placement == SpanningPlacement::kPlacedOverflow) {
       ctx->consumed_as_spanning = true;
-      ++stats_.nonleaf_splits;
+      BumpTreeStat(stats_.nonleaf_splits);
       Rect self_region;
       SEGIDX_ASSIGN_OR_RETURN(BranchEntry sibling,
                               SplitNode(node_id, &node, &self_region, ctx));
@@ -235,10 +307,17 @@ Result<std::optional<BranchEntry>> RTree::InsertRecursive(
   const size_t idx = ChooseSubtree(node, rect);
   Rect child_region = node.branches[idx].rect;
   const Rect old_child_region = child_region;
+  // Latch-couple: acquire the child before descending (parent-to-child
+  // order only). The child guard is popped back off after the descent
+  // unless a deeper safe node already released this whole prefix.
+  const size_t depth = ctx->latches.size();
+  ctx->latches.push_back(
+      latch_table_.Acquire(node.branches[idx].child.block));
   SEGIDX_ASSIGN_OR_RETURN(
       std::optional<BranchEntry> child_split,
       InsertRecursive(node.branches[idx].child, &child_region,
                       /*is_root=*/false, rect, tid, ctx));
+  while (ctx->latches.size() > depth) ctx->latches.pop_back();
 
   bool dirty = false;
   if (!(child_region == old_child_region)) {
@@ -351,7 +430,7 @@ Result<BranchEntry> RTree::SplitNode(storage::PageId node_id, Node* node,
       for (SpanningEntry s : node->spanning) {
         if (s.rect.SpansRegion(region_a) ||
             s.rect.SpansRegion(region_b)) {
-          ++stats_.promotions;
+          BumpTreeStat(stats_.promotions);
           ctx->reinserts.emplace_back(s.rect, s.tid);
           continue;
         }
@@ -369,14 +448,14 @@ Result<BranchEntry> RTree::SplitNode(storage::PageId node_id, Node* node,
           for (const BranchEntry& b : dest->branches) {
             if (s.rect.SpansRegion(b.rect)) {
               s.linked_child = b.child.Encode();
-              ++stats_.relinks;
+              BumpTreeStat(stats_.relinks);
               placed = true;
               break;
             }
           }
         }
         if (!placed) {
-          ++stats_.demotions;
+          BumpTreeStat(stats_.demotions);
           ctx->reinserts.emplace_back(s.rect, s.tid);
           continue;
         }
@@ -407,7 +486,7 @@ Result<BranchEntry> RTree::SplitNode(storage::PageId node_id, Node* node,
                                     side->spanning[smallest].tid);
         side->spanning.erase(side->spanning.begin() +
                              static_cast<ptrdiff_t>(smallest));
-        ++stats_.spanning_evictions;
+        BumpTreeStat(stats_.spanning_evictions);
       }
     }
   }
@@ -424,6 +503,7 @@ Result<BranchEntry> RTree::SplitNode(storage::PageId node_id, Node* node,
 
   if (node->is_leaf()) {
     // Split the modification statistic between the halves.
+    std::lock_guard<std::mutex> lock(leaf_mu_);
     const uint64_t count = leaf_mod_counts_[node_id.block];
     leaf_mod_counts_[node_id.block] = count / 2;
     leaf_mod_counts_[sibling_id.block] = count / 2;
@@ -447,10 +527,15 @@ Status RTree::GrowRootAfterSplit(const BranchEntry& old_root,
                           pager_->Allocate(SizeClassForLevel(new_root.level)));
   SEGIDX_RETURN_IF_ERROR(new_root.Serialize(page.data(), page.size(), checksum_kind_));
   page.MarkDirty();
+  // The caller holds the old root's latch (a split that reached the root
+  // means no safe node released it), so no other writer can be moving the
+  // root concurrently; meta_mu_ publishes the new root to writers blocked
+  // in the root protocol.
+  std::lock_guard<std::mutex> lock(meta_mu_);
   root_ = page.id();
   root_level_ = new_root.level;
   root_region_ = old_root.rect.Enclose(sibling.rect);
-  ++stats_.root_splits;
+  BumpTreeStat(stats_.root_splits);
   return Status::OK();
 }
 
@@ -480,6 +565,13 @@ Status RTree::Search(const Rect& query, std::vector<SearchHit>* out,
 
 Status RTree::Search(const Rect& query, const SearchOptions& options,
                      std::vector<SearchHit>* out, SearchOutcome* outcome) {
+  PhaseGate::Scope gate(&gate_, PhaseGate::Mode::kRead);
+  return SearchGateHeld(query, options, out, outcome);
+}
+
+Status RTree::SearchGateHeld(const Rect& query, const SearchOptions& options,
+                             std::vector<SearchHit>* out,
+                             SearchOutcome* outcome) {
   if (!query.valid()) {
     return InvalidArgumentError("invalid query rectangle");
   }
@@ -578,46 +670,90 @@ Status RTree::Delete(const Rect& rect, TupleId tid) {
         "SR-Tree supports insertion and search only (paper Section 3.1.1); "
         "delete is available on the plain R-Tree");
   }
-  op_node_accesses_ = 0;
+  PhaseGate::Scope gate(&gate_, PhaseGate::Mode::kWrite);
+  uint64_t accesses = 0;
 
+  // Root protocol: latch the root block without holding meta_mu_, then
+  // verify the root did not move while we blocked (see InsertOne).
+  NodeLatchTable::Guard root_guard;
+  storage::PageId root;
+  Rect region;
+  for (;;) {
+    storage::PageId seen;
+    {
+      std::lock_guard<std::mutex> lock(meta_mu_);
+      seen = root_;
+    }
+    NodeLatchTable::Guard guard = latch_table_.Acquire(seen.block);
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    if (root_.block != seen.block) continue;  // Root moved; retry.
+    root = root_;
+    region = root_region_;
+    root_guard = std::move(guard);
+    break;
+  }
+
+  // Deletion holds the whole latch path: each frame keeps its node latched
+  // while it recurses, so the write-back after the child returns is always
+  // covered. Depth is small (R-Tree height), so the lost concurrency is
+  // cheaper than insert-style safe-release bookkeeping for the rare op.
   std::vector<std::pair<Rect, TupleId>> orphans;
-  Rect region = root_region_;
   bool underflow = false;
   SEGIDX_ASSIGN_OR_RETURN(
-      bool found, DeleteRecursive(root_, rect, tid, &orphans, &region,
-                                  &underflow));
+      bool found, DeleteRecursive(root, rect, tid, &orphans, &region,
+                                  &underflow, &accesses));
   if (!found) return NotFoundError("no such index record");
-  root_region_ = region;
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    root_region_ = region;
+  }
 
-  // Shrink the root while it is a non-leaf node with a single branch.
+  // Shrink the root while it is a non-leaf node with a single branch. We
+  // still hold the old root's latch; the replacement child is latched
+  // before the swap is published so descending writers that pass the root
+  // protocol always land on a latched, live node.
   for (;;) {
-    SEGIDX_ASSIGN_OR_RETURN(Node root, ReadNode(root_));
-    if (root.is_leaf()) {
-      if (root.records.empty()) root_region_valid_ = false;
+    SEGIDX_ASSIGN_OR_RETURN(Node root_node, ReadNode(root, &accesses));
+    if (root_node.is_leaf()) {
+      if (root_node.records.empty()) {
+        std::lock_guard<std::mutex> lock(meta_mu_);
+        root_region_valid_ = false;
+      }
       break;
     }
-    if (root.branches.empty()) {
+    if (root_node.branches.empty()) {
       // The whole tree emptied out; replace with a fresh leaf root.
-      SEGIDX_RETURN_IF_ERROR(pager_->Free(root_));
+      // SetupEmptyRoot publishes the new root under meta_mu_; the old
+      // root's latch covers the Free.
+      SEGIDX_RETURN_IF_ERROR(pager_->Free(root));
       SEGIDX_RETURN_IF_ERROR(SetupEmptyRoot());
       break;
     }
-    if (root.branches.size() == 1 && root.spanning.empty()) {
-      const storage::PageId child = root.branches[0].child;
-      const Rect child_rect = root.branches[0].rect;
-      SEGIDX_RETURN_IF_ERROR(pager_->Free(root_));
-      root_ = child;
-      --root_level_;
-      root_region_ = child_rect;
+    if (root_node.branches.size() == 1 && root_node.spanning.empty()) {
+      const storage::PageId child = root_node.branches[0].child;
+      const Rect child_rect = root_node.branches[0].rect;
+      NodeLatchTable::Guard child_guard = latch_table_.Acquire(child.block);
+      {
+        std::lock_guard<std::mutex> lock(meta_mu_);
+        root_ = child;
+        --root_level_;
+        root_region_ = child_rect;
+      }
+      SEGIDX_RETURN_IF_ERROR(pager_->Free(root));
+      root = child;
+      root_guard = std::move(child_guard);
       continue;
     }
     break;
   }
 
-  --record_count_;
-  ++stats_.deletes;
+  std::atomic_ref<uint64_t>(record_count_)
+      .fetch_sub(1, std::memory_order_relaxed);
+  BumpTreeStat(stats_.deletes);
 
-  // Reinsert entries orphaned by condensed leaves.
+  // Reinsert entries orphaned by condensed leaves. These are fresh root
+  // descents; drop the root latch first so they cannot self-deadlock.
+  root_guard.Release();
   for (const auto& [r, t] : orphans) {
     InsertContext ctx;
     SEGIDX_RETURN_IF_ERROR(InsertOne(r, t, &ctx));
@@ -629,8 +765,9 @@ Status RTree::Delete(const Rect& rect, TupleId tid) {
 Result<bool> RTree::DeleteRecursive(
     storage::PageId node_id, const Rect& rect, TupleId tid,
     std::vector<std::pair<Rect, TupleId>>* orphans, Rect* region_out,
-    bool* underflow_out) {
-  SEGIDX_ASSIGN_OR_RETURN(Node node, ReadNode(node_id));
+    bool* underflow_out, uint64_t* accesses) {
+  // Caller holds node_id's latch for the duration of this frame.
+  SEGIDX_ASSIGN_OR_RETURN(Node node, ReadNode(node_id, accesses));
   *underflow_out = false;
 
   if (node.is_leaf()) {
@@ -653,12 +790,17 @@ Result<bool> RTree::DeleteRecursive(
 
   for (size_t i = 0; i < node.branches.size(); ++i) {
     if (!node.branches[i].rect.Contains(rect)) continue;
+    // Latch-couple downward: the child is latched before we recurse and
+    // stays latched through the condense/Free below, so no other writer
+    // can touch it while this frame rewrites the parent.
+    NodeLatchTable::Guard child_guard =
+        latch_table_.Acquire(node.branches[i].child.block);
     Rect child_region = node.branches[i].rect;
     bool child_underflow = false;
     SEGIDX_ASSIGN_OR_RETURN(
         bool found,
         DeleteRecursive(node.branches[i].child, rect, tid, orphans,
-                        &child_region, &child_underflow));
+                        &child_region, &child_underflow, accesses));
     if (!found) continue;
 
     if (child_underflow) {
@@ -666,7 +808,7 @@ Result<bool> RTree::DeleteRecursive(
       // branch. (Non-leaf nodes are condensed only when empty; see
       // DESIGN.md.)
       SEGIDX_ASSIGN_OR_RETURN(Node child,
-                              ReadNode(node.branches[i].child));
+                              ReadNode(node.branches[i].child, accesses));
       bool drop = false;
       if (child.is_leaf()) {
         for (const LeafEntry& e : child.records) {
@@ -699,6 +841,7 @@ Result<bool> RTree::DeleteRecursive(
 // ---------------------------------------------------------------------------
 
 Status RTree::PreBuild(const SkeletonSpec& spec) {
+  PhaseGate::Scope gate(&gate_, PhaseGate::Mode::kExclusive);
   if (record_count_ != 0 || root_level_ != 0) {
     return FailedPreconditionError("PreBuild requires an empty tree");
   }
@@ -802,6 +945,9 @@ Status RTree::PreBuild(const SkeletonSpec& spec) {
 }
 
 Result<int> RTree::CoalesceSparseLeaves(int max_candidates) {
+  // Exclusive: the walk assumes a frozen structure, and the merge loop
+  // rewrites parents without latch-coupling.
+  PhaseGate::Scope gate(&gate_, PhaseGate::Mode::kExclusive);
   if (max_candidates <= 0 || root_level_ == 0) return 0;
 
   // Walk the non-leaf levels once, collecting every leaf with its parent.
@@ -899,7 +1045,7 @@ Result<int> RTree::CoalesceSparseLeaves(int max_candidates) {
             if (span.rect.SpansRegion(merged_rect)) {
               span.linked_child = cand_enc;
               keep.push_back(span);
-              ++stats_.relinks;
+              BumpTreeStat(stats_.relinks);
               continue;
             }
             // Try any other branch on the parent.
@@ -909,12 +1055,12 @@ Result<int> RTree::CoalesceSparseLeaves(int max_candidates) {
                 span.linked_child = b.child.Encode();
                 keep.push_back(span);
                 relinked = true;
-                ++stats_.relinks;
+                BumpTreeStat(stats_.relinks);
                 break;
               }
             }
             if (!relinked) {
-              ++stats_.demotions;
+              BumpTreeStat(stats_.demotions);
               reinserts.emplace_back(span.rect, span.tid);
             }
           }
@@ -929,7 +1075,7 @@ Result<int> RTree::CoalesceSparseLeaves(int max_candidates) {
         parent_dirty = true;
         absorbed = true;
         ++merged;
-        ++stats_.coalesced_nodes;
+        BumpTreeStat(stats_.coalesced_nodes);
         break;
       }
     }
@@ -968,6 +1114,7 @@ Result<int> RTree::CoalesceSparseLeaves(int max_candidates) {
 // ---------------------------------------------------------------------------
 
 Result<std::vector<uint64_t>> RTree::CountNodesPerLevel() {
+  PhaseGate::Scope gate(&gate_, PhaseGate::Mode::kExclusive);
   std::vector<uint64_t> counts(static_cast<size_t>(root_level_) + 1, 0);
   std::vector<storage::PageId> stack{root_};
   while (!stack.empty()) {
@@ -993,6 +1140,7 @@ struct DumpFrame {
 }  // namespace
 
 Status RTree::DumpStructure(std::ostream& os, int max_depth) {
+  PhaseGate::Scope gate(&gate_, PhaseGate::Mode::kExclusive);
   std::vector<DumpFrame> stack{{root_, root_region_, 0}};
   char line[256];
   while (!stack.empty()) {
@@ -1036,6 +1184,7 @@ Status RTree::DumpStructure(std::ostream& os, int max_depth) {
 }
 
 Result<std::vector<RTree::LevelStats>> RTree::CollectLevelStats() {
+  PhaseGate::Scope gate(&gate_, PhaseGate::Mode::kExclusive);
   std::vector<LevelStats> stats(static_cast<size_t>(root_level_) + 1);
   struct Item {
     storage::PageId id;
@@ -1069,6 +1218,7 @@ Result<std::vector<RTree::LevelStats>> RTree::CollectLevelStats() {
 }
 
 Status RTree::CheckInvariants(bool expect_min_fill) {
+  PhaseGate::Scope gate(&gate_, PhaseGate::Mode::kExclusive);
   if (!root_region_valid_ && record_count_ != 0) {
     return InternalError("records present but root region invalid");
   }

@@ -27,6 +27,14 @@
 // Region maintenance: branch rectangles only grow during inserts (so
 // pre-partitioned skeleton regions persist); splits recompute tight MBRs;
 // deletes recompute tight MBRs along the delete path.
+//
+// Concurrency (full contract: docs/CONCURRENCY.md): Insert/Delete/Search
+// self-gate through a three-mode PhaseGate — searches share the read
+// phase, Insert/Delete share the write phase and arbitrate among
+// themselves with latch crabbing over a NodeLatchTable, and whole-tree
+// operations (PreBuild, CoalesceSparseLeaves, CheckInvariants, the
+// introspection walks) run exclusive. SaveMeta and the checkpoint itself
+// are gated by the caller (core::IntervalIndex's group commit).
 
 #ifndef SEGIDX_RTREE_RTREE_H_
 #define SEGIDX_RTREE_RTREE_H_
@@ -34,7 +42,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <ostream>
 #include <unordered_map>
@@ -44,6 +54,7 @@
 #include "common/geometry.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "rtree/latch.h"
 #include "rtree/node.h"
 #include "rtree/split.h"
 #include "storage/pager.h"
@@ -86,10 +97,11 @@ struct TreeOptions {
       SpanningOverflowPolicy::kEvictSmallest;
 };
 
-// Plain copyable counters. The search-side fields (searches,
-// search_node_accesses) are bumped through relaxed std::atomic_ref so
-// concurrent Search() calls never race; every other field is written only
-// by the single-writer mutation path.
+// Plain copyable counters. Every field is bumped through relaxed
+// std::atomic_ref, so concurrent searches and concurrent writers never
+// race on them; the struct stays copyable and reading a consistent
+// snapshot requires quiescence (which tests and benchmarks have after
+// joining their workers).
 struct TreeStats {
   uint64_t inserts = 0;
   uint64_t deletes = 0;
@@ -179,14 +191,18 @@ class RTree {
   RTree& operator=(const RTree&) = delete;
 
   // Inserts an index record for `rect` referencing `tid`. Duplicate (rect,
-  // tid) pairs are allowed, as in Guttman's R-Tree.
+  // tid) pairs are allowed, as in Guttman's R-Tree. Safe to call from many
+  // threads concurrently, and concurrently with Search()/Delete(): inserts
+  // enter the write phase of the gate and crab node latches down the
+  // descent path (docs/CONCURRENCY.md).
   Status Insert(const Rect& rect, TupleId tid);
 
   // Appends every stored entry intersecting `query` to `out` and reports
   // the number of nodes accessed by this search. Safe to call from many
-  // threads concurrently (node-access counting is per-call, shared stats
-  // are updated atomically), provided no mutation (Insert/Delete/
-  // PreBuild/CoalesceSparseLeaves) runs at the same time.
+  // threads concurrently, and concurrently with Insert()/Delete():
+  // searches enter the read phase of the gate, so they always observe a
+  // structurally consistent tree (node-access counting is per-call, shared
+  // stats are updated atomically).
   Status Search(const Rect& query, std::vector<SearchHit>* out,
                 uint64_t* nodes_accessed = nullptr);
 
@@ -199,19 +215,38 @@ class RTree {
                 std::vector<SearchHit>* out,
                 SearchOutcome* outcome = nullptr);
 
+  // Search body without entering the phase gate: for callers that already
+  // hold the read phase (exec::QueryEngine enters once per batch and fans
+  // queries out to workers). Entering the gate again from a worker would
+  // deadlock under the gate's fairness rotation, so nested entries must
+  // use this. Callers MUST hold the read (or exclusive) phase.
+  Status SearchGateHeld(const Rect& query, const SearchOptions& options,
+                        std::vector<SearchHit>* out,
+                        SearchOutcome* outcome = nullptr);
+
   // Removes one stored entry equal to (rect, tid). Plain R-Tree only: an
   // SR-Tree scopes to insert + search (paper Section 3.1.1) and returns
-  // Unimplemented. Returns NotFound if no such entry exists.
+  // Unimplemented. Returns NotFound if no such entry exists. Safe to call
+  // concurrently with Insert()/Search(): deletes enter the write phase and
+  // hold latches over the whole descent path (region recomputation
+  // propagates unconditionally, so no early release).
   Status Delete(const Rect& rect, TupleId tid);
 
+  // The tree's phase gate. Layers above enter it around operations the
+  // tree cannot gate itself: exclusive for SaveMeta + Checkpoint (group
+  // commit) and bulk loading, read-shared for whole batches of searches
+  // (exec::QueryEngine) or a consistent scrub walk.
+  PhaseGate& phase_gate() { return gate_; }
+
   // Materializes a pre-partitioned skeleton hierarchy (the tree must be
-  // empty).
+  // empty). Enters the exclusive phase.
   Status PreBuild(const SkeletonSpec& spec);
 
   // One adaptation pass (Section 4): examines up to `max_candidates` least
   // frequently modified leaves and merges each with a spatially adjacent
   // same-parent sibling when their combined entries fit in one leaf.
-  // Returns the number of merges performed.
+  // Returns the number of merges performed. Enters the exclusive phase
+  // (leaves are freed, which no concurrent reader may observe).
   Result<int> CoalesceSparseLeaves(int max_candidates);
 
   // Quick structural self-check: walks the whole tree and returns the first
@@ -221,15 +256,21 @@ class RTree {
   // splits; skeleton trees and coalesced trees violate it by design).
   // The exhaustive multi-violation validator lives in
   // check/structure_checker.h; this member check remains for callers below
-  // the check/ layer.
+  // the check/ layer. Enters the exclusive phase.
   Status CheckInvariants(bool expect_min_fill = false);
 
   // Persists root/height/count/options into the pager's metadata area.
-  // Follow with pager->Checkpoint() for durability.
+  // Follow with pager->Checkpoint() for durability. NOT self-gated: the
+  // caller must hold the exclusive phase (core::IntervalIndex runs it
+  // inside the group-commit function) or have external quiescence.
   Status SaveMeta();
 
   // Number of logical records inserted (cut remnants do not add to this).
-  uint64_t size() const { return record_count_; }
+  // Safe to read concurrently with writers (relaxed atomic).
+  uint64_t size() const {
+    return std::atomic_ref<uint64_t>(const_cast<uint64_t&>(record_count_))
+        .load(std::memory_order_relaxed);
+  }
   // 1 for a single-leaf tree.
   int height() const { return root_level_ + 1; }
   bool spanning_enabled() const { return options_.enable_spanning; }
@@ -308,6 +349,14 @@ class RTree {
     // (cut remnants are re-inserted separately and expand their own
     // paths).
     bool consumed_as_spanning = false;
+    // Node latches held by this descent, shallowest (root) at the front.
+    // Crabbing releases the ancestor prefix once a node is "safe" (cannot
+    // split and will not expand its region); guards release on
+    // destruction, so error paths never leak a latch.
+    std::deque<NodeLatchTable::Guard> latches;
+    // Node accesses charged to this descent. Concurrent writers each count
+    // into their own context (the shared per-op counter would race).
+    uint64_t node_accesses = 0;
   };
 
   enum class SpanningPlacement {
@@ -347,8 +396,24 @@ class RTree {
   bool NonLeafOverflowed(const Node& node) const;
   // Whether one more spanning entry still fits in the node's bytes.
   bool HasByteRoomForSpanning(const Node& node) const;
-  // Node visit accounting for the active operation.
+  // Node visit accounting for the active operation. Exclusive-phase
+  // operations only (the shared counter would race between concurrent
+  // writers; the mutation path counts into InsertContext::node_accesses).
   void CountNodeAccess() { ++op_node_accesses_; }
+
+  // Bumps a TreeStats counter with a relaxed atomic (mutation paths run
+  // write-shared, so plain increments would race).
+  static void BumpTreeStat(uint64_t& counter, uint64_t delta = 1) {
+    std::atomic_ref<uint64_t>(counter).fetch_add(delta,
+                                                 std::memory_order_relaxed);
+  }
+
+  // Exclusive latch per node extent; writers crab these down the tree.
+  NodeLatchTable latch_table_;
+  // Guards the root fields (root_, root_level_, root_region_,
+  // root_region_valid_) against concurrent writers. Never held while
+  // blocking on a node latch (see docs/CONCURRENCY.md, root protocol).
+  std::mutex meta_mu_;
 
   TreeOptions options_;
   TreeStats stats_;
@@ -365,8 +430,16 @@ class RTree {
                     std::vector<SearchHit>* out, SearchOutcome* oc) const;
 
   // Inserts one physical record (an original record, a cut remnant, or a
-  // demoted spanning record).
+  // demoted spanning record). Latches the root via the retry protocol
+  // (latch first, validate root_ under meta_mu_, retry if it moved) and
+  // releases every latch it acquired before returning.
   Status InsertOne(const Rect& rect, TupleId tid, InsertContext* ctx);
+
+  // Whether an insert descent may release its ancestor latches at this
+  // node: the node cannot split from one more entry and its region already
+  // contains `rect`, so nothing can propagate above it.
+  bool InsertSafe(const Node& node, const Rect& node_region,
+                  const Rect& rect) const;
 
   // Recursive descent. `node_region` is this node's region as recorded in
   // its parent (for the root: root_region_). Returns the branch for a new
@@ -398,10 +471,13 @@ class RTree {
     storage::PageId id;
     int branch_index_in_parent = -1;  // -1 for the root.
   };
+  // Caller holds node_id's latch; child latches are acquired here before
+  // recursing (parent-to-child order) and held until the branch is done.
   Result<bool> DeleteRecursive(storage::PageId node_id, const Rect& rect,
                                TupleId tid,
                                std::vector<std::pair<Rect, TupleId>>* orphans,
-                               Rect* region_out, bool* underflow_out);
+                               Rect* region_out, bool* underflow_out,
+                               uint64_t* accesses);
 
   // Invariant-check recursion.
   Status CheckNodeInvariants(storage::PageId id, const Rect& region,
@@ -416,16 +492,27 @@ class RTree {
   // Derived from pager_->format_version() at construction.
   PageChecksumKind checksum_kind_ = PageChecksumKind::kCrc32c;
 
+  // The phase gate separating searches (read-shared), Insert/Delete
+  // (write-shared) and whole-tree operations (exclusive).
+  PhaseGate gate_;
+
+  // Root fields: mutated only under meta_mu_ *and* the root node's latch
+  // (write phase). Readers access them without meta_mu_ — the phase gate
+  // keeps writers out of the read phase entirely.
   storage::PageId root_;
   int root_level_ = 0;
   Rect root_region_;
   bool root_region_valid_ = false;
+  // Mutated via relaxed atomic_ref (concurrent writers).
   uint64_t record_count_ = 0;
 
   // Modification counts per leaf block (Section 4's "least frequently
-  // modified" statistic). Rebuilt lazily after Open().
+  // modified" statistic). Rebuilt lazily after Open(). Guarded by leaf_mu_
+  // (concurrent writers update it outside any common node latch).
+  std::mutex leaf_mu_;
   std::unordered_map<uint32_t, uint64_t> leaf_mod_counts_;
 
+  // Exclusive-phase operations only; see CountNodeAccess().
   uint64_t op_node_accesses_ = 0;
 };
 

@@ -9,6 +9,7 @@ namespace segidx::srtree {
 
 using rtree::BranchEntry;
 using rtree::Node;
+using rtree::NodeLatchTable;
 using rtree::SpanningEntry;
 using rtree::TreeOptions;
 
@@ -121,7 +122,7 @@ Result<rtree::RTree::SpanningPlacement> SRTree::TryPlaceSpanningRecord(
                                     node->spanning[smallest].tid);
         node->spanning.erase(node->spanning.begin() +
                              static_cast<ptrdiff_t>(smallest));
-        ++stats_.spanning_evictions;
+        BumpTreeStat(stats_.spanning_evictions);
       }
       break;
   }
@@ -132,9 +133,9 @@ Result<rtree::RTree::SpanningPlacement> SRTree::TryPlaceSpanningRecord(
   if (was_cut) {
     for (const Rect& remnant : cut.remnants) {
       ctx->reinserts.emplace_back(remnant, tid);
-      ++stats_.remnants_inserted;
+      BumpTreeStat(stats_.remnants_inserted);
     }
-    ++stats_.cuts;
+    BumpTreeStat(stats_.cuts);
   }
 
   SpanningEntry entry;
@@ -142,7 +143,7 @@ Result<rtree::RTree::SpanningPlacement> SRTree::TryPlaceSpanningRecord(
   entry.tid = tid;
   entry.linked_child = spanned->child.Encode();
   node->spanning.push_back(entry);
-  ++stats_.spanning_placed;
+  BumpTreeStat(stats_.spanning_placed);
   if (split_after_place) {
     // Over-full in memory; the caller splits the node, which writes both
     // halves.
@@ -167,8 +168,17 @@ Status SRTree::ProcessDemotions(InsertContext* ctx) {
             });
   nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
 
+  // Runs after InsertOne released every descent latch, so each node is
+  // re-latched here one at a time with nothing else held — trivially
+  // deadlock-free against descending writers, whatever order they latch
+  // in. The re-read under the latch makes the pass self-validating:
+  // another writer may have split, rewritten, freed, or even reused the
+  // page since the expansion was recorded, and the keep/relink/demote
+  // decision below is computed from the node's current contents, which is
+  // correct in every one of those cases.
   for (const storage::PageId& id : nodes) {
-    SEGIDX_ASSIGN_OR_RETURN(Node node, ReadNode(id));
+    NodeLatchTable::Guard guard = latch_table_.Acquire(id.block);
+    SEGIDX_ASSIGN_OR_RETURN(Node node, ReadNode(id, &ctx->node_accesses));
     if (node.is_leaf() || node.spanning.empty()) continue;
     bool changed = false;
     std::vector<SpanningEntry> keep;
@@ -188,14 +198,14 @@ Status SRTree::ProcessDemotions(InsertContext* ctx) {
           s.linked_child = b.child.Encode();
           keep.push_back(s);
           relinked = true;
-          ++stats_.relinks;
+          BumpTreeStat(stats_.relinks);
           break;
         }
       }
       if (!relinked) {
         // Demotion (Section 3.1.1): remove and re-insert.
         ctx->reinserts.emplace_back(s.rect, s.tid);
-        ++stats_.demotions;
+        BumpTreeStat(stats_.demotions);
       }
       changed = true;
     }

@@ -1026,6 +1026,42 @@ Status Pager::SetUserMeta(const uint8_t* data, size_t n) {
   return Status::OK();
 }
 
+Status Pager::GroupCommit(const std::function<Status()>& commit_fn) {
+  std::unique_lock<std::mutex> lock(commit_mu_);
+  BumpStat(stats_.commit_requests);
+  const uint64_t my_seq = ++commit_seq_;
+  for (;;) {
+    if (durable_seq_ >= my_seq) {
+      // A batch that started after this request arrived has completed; its
+      // commit covered every mutation visible at our call.
+      return last_commit_status_;
+    }
+    if (!committing_) break;  // Become the next leader.
+    commit_cv_.wait(lock);
+  }
+  committing_ = true;
+  if (options_.group_commit_window_us > 0) {
+    // Linger for the full window so near-simultaneous requesters join this
+    // batch instead of forcing their own fsync round. The false predicate
+    // makes wait_until hold until the deadline while still releasing
+    // commit_mu_, which joiners need to enqueue.
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds(options_.group_commit_window_us);
+    commit_cv_.wait_until(lock, deadline, [] { return false; });
+  }
+  const uint64_t batch_end = commit_seq_;  // Requests this batch covers.
+  lock.unlock();
+  const Status st = commit_fn();
+  lock.lock();
+  BumpStat(stats_.commit_batches);
+  durable_seq_ = batch_end;
+  last_commit_status_ = st;
+  committing_ = false;
+  commit_cv_.notify_all();
+  return st;
+}
+
 Result<std::vector<PageId>> Pager::FreeExtents() const {
   std::lock_guard<std::mutex> lock(alloc_mu_);
   std::vector<PageId> out;

@@ -41,7 +41,7 @@
 // skips dirty frames. Transient EINTR/EAGAIN never reaches this layer —
 // FileBlockDevice retries those with capped backoff.
 //
-// Thread-safety contract (single-writer / multi-reader):
+// Thread-safety contract (multi-writer; see docs/CONCURRENCY.md):
 //
 //   * Fetch(), PageHandle pin/unpin/MarkDirty, and the stats counters are
 //     safe to call from any number of threads concurrently. The buffer pool
@@ -49,15 +49,23 @@
 //     partitions keyed by base block, so concurrent readers on different
 //     pages rarely contend; stats counters are updated with relaxed
 //     atomics.
-//   * Allocate(), Free(), SetUserMeta(), and Checkpoint() mutate allocator
-//     state under one exclusive latch and must not run concurrently with
-//     each other. They MAY run concurrently with readers of *other* pages
-//     (eviction spilling already does), but freeing or reallocating a page
-//     some reader is concurrently fetching is a logical race the caller
-//     must prevent — the tree layer guarantees this by never exposing
-//     unreachable pages to readers.
+//   * Allocate(), Free(), and SetUserMeta() serialize on the allocator
+//     latch (alloc_mu_) and are safe from concurrent threads. Freeing or
+//     reallocating a page another thread is concurrently fetching remains
+//     a logical race the caller must prevent — the tree layer guarantees
+//     this with node latches plus its phase gate (a page is freed only
+//     while its parent's latch pins the only path to it).
+//   * Checkpoint() requires *mutation quiescence*: no concurrent
+//     Allocate/Free/WriteNode-style page mutation while it snapshots dirty
+//     frames (concurrent Fetch of stable pages is fine). Callers get this
+//     by entering the tree layer's exclusive gate; use GroupCommit() to
+//     let N threads amortize one such checkpoint + fsync.
+//   * GroupCommit(fn) is safe from any number of threads: callers batch
+//     behind one leader, the leader runs `fn` (typically meta save +
+//     Checkpoint) once, and every batched caller observes its result.
 //   * Lock order: a partition latch may be held while taking alloc_mu_
-//     (the spill and redirect-lookup paths do), never the reverse.
+//     (the spill and redirect-lookup paths do), never the reverse. The
+//     group-commit latch (commit_mu_) is never held while running `fn`.
 //   * ResetStats() and FreeExtents() require external quiescence.
 //
 // LRU is maintained per partition; with `lru_partitions = 1` the pager
@@ -69,7 +77,9 @@
 
 #include <array>
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -135,6 +145,10 @@ struct StorageStats {
                                    // checksum/decode failure (survives
                                    // ResetStats, like degraded).
   uint64_t quarantine_hits = 0;    // Fetches rejected on quarantined pages.
+  uint64_t commit_requests = 0;    // GroupCommit() calls.
+  uint64_t commit_batches = 0;     // Leader executions (fsync rounds); the
+                                   // ratio requests/batches is the group
+                                   // commit's amortization factor.
 };
 
 struct PagerOptions {
@@ -148,6 +162,12 @@ struct PagerOptions {
   // keyed by base block. More partitions means less latch contention for
   // concurrent readers; 1 restores exact global LRU. Clamped to [1, 256].
   uint32_t lru_partitions = 8;
+  // GroupCommit(): how long a commit leader lingers (microseconds) for
+  // more requesters to join its batch before running the commit function.
+  // 0 commits immediately — concurrent requesters that arrived while a
+  // previous batch was in flight still coalesce; the window only adds
+  // latency to *absorb* near-simultaneous requesters into fewer fsyncs.
+  uint32_t group_commit_window_us = 200;
 };
 
 // What Open() found: which superblock slot won, whether the other one was
@@ -284,8 +304,19 @@ class Pager {
   // syncs, publishes the inactive superblock slot, syncs again, then
   // applies the changes home. A crash at any point leaves the file
   // openable at either this or the previous checkpoint. The pager remains
-  // usable.
+  // usable. Requires mutation quiescence (see the thread-safety contract).
   Status Checkpoint();
+
+  // Group commit: durability requests from N threads coalesce into one
+  // execution of `commit_fn` (which typically saves metadata and calls
+  // Checkpoint(), under whatever quiescence the caller's layer provides).
+  // The calling thread returns once a batch *covering its request* has
+  // completed — i.e. a leader ran commit_fn after this call arrived — with
+  // that batch's status. Requests that arrive while a batch is in flight
+  // wait for the next batch; the leader of a batch holds no pager locks
+  // while commit_fn runs. `PagerOptions::group_commit_window_us` bounds
+  // how long a leader waits for joiners before committing.
+  Status GroupCommit(const std::function<Status()>& commit_fn);
 
   // Tree-private metadata persisted in the superblock at Checkpoint().
   const std::vector<uint8_t>& user_meta() const { return user_meta_; }
@@ -506,6 +537,18 @@ class Pager {
   std::vector<std::vector<uint32_t>> run_scrap_;
   std::unordered_map<uint32_t, SpillSlot> redirects_;
   std::vector<uint8_t> user_meta_;
+
+  // Group-commit sequencer (GroupCommit). commit_requests_ numbers every
+  // request; durable_requests_ is the highest request number covered by a
+  // completed batch. A requester is done once durable_requests_ passes its
+  // own number; the first waiter to find no batch in flight becomes the
+  // leader. commit_mu_ is never held while the leader runs commit_fn.
+  std::mutex commit_mu_;
+  std::condition_variable commit_cv_;
+  uint64_t commit_seq_ = 0;          // Requests issued.
+  uint64_t durable_seq_ = 0;         // Requests covered by finished batches.
+  bool committing_ = false;          // A leader is running commit_fn.
+  Status last_commit_status_;        // Result of the newest finished batch.
 };
 
 }  // namespace segidx::storage

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -484,6 +485,62 @@ TEST(PagerTest, QuarantineSetIsBounded) {
   // every search into a silent near-empty partial result.
   EXPECT_FALSE(pager->QuarantinePage(overflow, "one too many"));
   EXPECT_FALSE(pager->IsQuarantined(overflow.block));
+}
+
+TEST(PagerTest, GroupCommitRunsFunctionAndCountsStats) {
+  auto pager = MakeMemoryPager(PagerOptions());
+  int calls = 0;
+  EXPECT_TRUE(pager->GroupCommit([&] {
+                     ++calls;
+                     return Status::OK();
+                   })
+                  .ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(pager->stats().commit_requests, 1u);
+  EXPECT_EQ(pager->stats().commit_batches, 1u);
+}
+
+TEST(PagerTest, GroupCommitPropagatesErrorToEveryBatchMember) {
+  auto pager = MakeMemoryPager(PagerOptions());
+  const Status st =
+      pager->GroupCommit([] { return IoError("sync failed"); });
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  // A later commit starts a fresh batch and is not poisoned by history.
+  EXPECT_TRUE(pager->GroupCommit([] { return Status::OK(); }).ok());
+}
+
+TEST(PagerTest, ConcurrentGroupCommitsCoalesceIntoBatches) {
+  PagerOptions options;
+  options.group_commit_window_us = 2000;  // Wide window to force batching.
+  auto pager = MakeMemoryPager(options);
+  constexpr int kThreads = 8;
+  constexpr int kCommitsPerThread = 20;
+  std::atomic<int> executions{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kCommitsPerThread; ++i) {
+        const Status st = pager->GroupCommit([&] {
+          executions.fetch_add(1);
+          return Status::OK();
+        });
+        if (!st.ok()) failed.store(true);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_FALSE(failed.load());
+
+  const StorageStats& stats = pager->stats();
+  EXPECT_EQ(stats.commit_requests,
+            static_cast<uint64_t>(kThreads * kCommitsPerThread));
+  // Every batch runs the function exactly once, on behalf of everyone who
+  // joined it; followers must not re-run it.
+  EXPECT_EQ(stats.commit_batches, static_cast<uint64_t>(executions.load()));
+  EXPECT_LE(stats.commit_batches, stats.commit_requests);
+  // With 8 threads hammering a 2ms window, amortization must be visible.
+  EXPECT_LT(stats.commit_batches, stats.commit_requests);
 }
 
 }  // namespace

@@ -16,6 +16,8 @@
 //   segidx bench-resilience [--records=N] [--queries=N] [--repeats=N]
 //                 [--threads=N] [--delay-us=N] [--deadline-us=N]
 //                 [--pool=BYTES] [--seed=S] [--out=JSON_PATH]
+//   segidx bench-mixed [--records=N] [--readers=N] [--commit-every=N]
+//                 [--seed=S] [--out=JSON_PATH]
 //   segidx torture [--mode=crash|scrub] [--kind=srtree] [--records=N]
 //                 [--checkpoint-every=N] [--tear=BYTES] [--max-points=N]
 //                 [--rounds=N] [--corrupt=N] [--seed=S] [--pool=BYTES]
@@ -43,6 +45,7 @@
 // Exit codes: 0 success, 1 runtime error / violations found, 2 usage error.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -52,10 +55,12 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/random.h"
 #include "core/interval_index.h"
+#include "exec/write_pool.h"
 #include "core/salvage.h"
 #include "storage/fault_injection.h"
 #include "torture/recovery_torture.h"
@@ -92,6 +97,9 @@ int Usage() {
       "  bench-resilience: deadline latency bench (no --file; in memory)\n"
       "          [--records=N] [--queries=N] [--repeats=N] [--threads=N]\n"
       "          [--delay-us=N] [--deadline-us=N] [--pool=BYTES] [--seed=S]\n"
+      "          [--out=JSON_PATH]\n"
+      "  bench-mixed: concurrent writer/reader throughput (no --file)\n"
+      "          [--records=N] [--readers=N] [--commit-every=N] [--seed=S]\n"
       "          [--out=JSON_PATH]\n"
       "  torture: fault sweeps (no --file; runs in memory)\n"
       "          --mode=crash (default): [--kind=srtree] [--records=N]\n"
@@ -707,6 +715,172 @@ int CmdBenchResilience(const Args& args) {
   return 0;
 }
 
+// Mixed read/write throughput: concurrent writers through exec::WritePool
+// (group-commit cadence) with reader threads searching concurrently.
+// Runs in memory on a uniform-interval workload; emits a JSON summary
+// with per-writer-count insert throughput, the 4-writer speedup, reader
+// throughput, and the group-commit amortization ratio.
+int CmdBenchMixed(const Args& args) {
+  uint64_t num_records = 40000;
+  int readers = 2;
+  uint64_t commit_every = 1024;
+  uint64_t seed = 42;
+  if (auto v = args.Get("records")) num_records = std::stoull(*v);
+  if (auto v = args.Get("readers")) readers = std::stoi(*v);
+  if (auto v = args.Get("commit-every")) commit_every = std::stoull(*v);
+  if (auto v = args.Get("seed")) seed = std::stoull(*v);
+
+  // Uniform intervals over the CLI bench domain (same family as the
+  // paper's I1 workload).
+  Rng rng(seed);
+  std::vector<Rect> rects;
+  rects.reserve(num_records);
+  for (uint64_t i = 0; i < num_records; ++i) {
+    const double s = rng.Uniform(0.0, 100000.0);
+    rects.emplace_back(Interval(s, s + rng.Uniform(1.0, 200.0)),
+                       Interval::Point(rng.Uniform(0.0, 100000.0)));
+  }
+  const size_t preload_count = rects.size() / 2;
+  std::vector<Rect> queries;
+  for (int i = 0; i < 64; ++i) {
+    const double x = rng.Uniform(0.0, 99000.0);
+    const double y = rng.Uniform(0.0, 99000.0);
+    queries.emplace_back(x, x + 1000.0, y, y + 1000.0);
+  }
+
+  struct Row {
+    int writers;
+    double inserts_per_sec;
+    double queries_per_sec;
+    uint64_t commit_requests;
+    uint64_t commit_batches;
+  };
+  std::vector<Row> rows;
+  for (int writers : {1, 2, 4}) {
+    IndexOptions options;
+    auto created =
+        IntervalIndex::CreateInMemory(IndexKind::kRTree, options);
+    if (!created.ok()) {
+      std::fprintf(stderr, "create failed: %s\n",
+                   created.status().ToString().c_str());
+      return 1;
+    }
+    auto index = std::move(created).value();
+    std::vector<std::pair<Rect, TupleId>> preload;
+    preload.reserve(preload_count);
+    for (size_t i = 0; i < preload_count; ++i) {
+      preload.emplace_back(rects[i], static_cast<TupleId>(i + 1));
+    }
+    if (auto st = index->BulkLoad(std::move(preload)); !st.ok()) {
+      std::fprintf(stderr, "bulk load failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::vector<exec::WriteOp> ops;
+    ops.reserve(rects.size() - preload_count);
+    for (size_t i = preload_count; i < rects.size(); ++i) {
+      ops.push_back(exec::WriteOp{rects[i], static_cast<TupleId>(i + 1)});
+    }
+
+    exec::WritePoolOptions wopts;
+    wopts.num_threads = writers;
+    wopts.commit_every = commit_every;
+    IntervalIndex* idx = index.get();
+    exec::WritePool pool(
+        idx->tree(), [idx] { return idx->Commit(); }, wopts);
+
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> queries_done{0};
+    std::atomic<bool> reader_failed{false};
+    std::vector<std::thread> reader_threads;
+    for (int r = 0; r < readers; ++r) {
+      reader_threads.emplace_back([&, r] {
+        size_t qi = static_cast<size_t>(r);
+        std::vector<rtree::SearchHit> hits;
+        while (!stop.load(std::memory_order_relaxed)) {
+          hits.clear();
+          if (!idx->Search(queries[qi % queries.size()], &hits).ok()) {
+            reader_failed.store(true);
+            return;
+          }
+          qi += static_cast<size_t>(readers);
+          queries_done.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+
+    using Clock = std::chrono::steady_clock;
+    const auto t0 = Clock::now();
+    const Status st = pool.ApplyBatch(ops);
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    stop.store(true);
+    for (std::thread& t : reader_threads) t.join();
+    if (!st.ok()) {
+      std::fprintf(stderr, "apply batch failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    if (reader_failed.load()) {
+      std::fprintf(stderr, "reader thread failed\n");
+      return 1;
+    }
+    if (idx->size() != rects.size()) {
+      std::fprintf(stderr, "record count mismatch after %d writers\n",
+                   writers);
+      return 1;
+    }
+    if (auto check = idx->CheckInvariants(); !check.ok()) {
+      std::fprintf(stderr, "invariant violation after %d writers: %s\n",
+                   writers, check.ToString().c_str());
+      return 1;
+    }
+    rows.push_back(Row{writers, static_cast<double>(ops.size()) / secs,
+                       static_cast<double>(queries_done.load()) / secs,
+                       idx->storage_stats().commit_requests,
+                       idx->storage_stats().commit_batches});
+    std::printf(
+        "%d writer(s): %.0f inserts/s, %.0f queries/s, "
+        "%llu commits in %llu batches\n",
+        writers, rows.back().inserts_per_sec, rows.back().queries_per_sec,
+        static_cast<unsigned long long>(rows.back().commit_requests),
+        static_cast<unsigned long long>(rows.back().commit_batches));
+  }
+
+  const double speedup_4w =
+      rows.back().inserts_per_sec / rows.front().inserts_per_sec;
+  std::string json = "{\"bench\": \"mixed\", \"records\": " +
+                     std::to_string(num_records) +
+                     ", \"readers\": " + std::to_string(readers) +
+                     ", \"commit_every\": " + std::to_string(commit_every) +
+                     ", \"runs\": [";
+  char buf[256];
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s{\"writers\": %d, \"inserts_per_sec\": %.0f, "
+        "\"queries_per_sec\": %.0f, \"commit_requests\": %llu, "
+        "\"commit_batches\": %llu}",
+        i == 0 ? "" : ", ", rows[i].writers, rows[i].inserts_per_sec,
+        rows[i].queries_per_sec,
+        static_cast<unsigned long long>(rows[i].commit_requests),
+        static_cast<unsigned long long>(rows[i].commit_batches));
+    json += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "], \"speedup_4_writers\": %.2f}\n",
+                speedup_4w);
+  json += buf;
+  std::fputs(json.c_str(), stdout);
+  if (auto out = args.Get("out")) {
+    std::ofstream f(*out);
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", out->c_str());
+      return 1;
+    }
+    f << json;
+  }
+  return 0;
+}
+
 int CmdScrubTorture(const Args& args) {
   torture::ScrubTortureOptions options;
   if (auto v = args.Get("kind")) {
@@ -818,6 +992,7 @@ int main(int argc, char** argv) {
   if (args->command == "bench-resilience") {
     return CmdBenchResilience(*args);
   }
+  if (args->command == "bench-mixed") return CmdBenchMixed(*args);
   const auto file = args->Get("file");
   if (!file) return Usage();
 

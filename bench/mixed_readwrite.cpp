@@ -42,6 +42,7 @@ struct PassResult {
   double queries_per_sec = 0;  // Mixed pass only.
   uint64_t commit_batches = 0;
   uint64_t commit_requests = 0;
+  rtree::LatchStats latch;  // Gate/latch contention over the pass.
 };
 
 // One timed insert pass: `writers` pool threads applying `ops`, with
@@ -98,6 +99,8 @@ bool RunPass(core::IntervalIndex* index, const std::vector<exec::WriteOp>& ops,
       index->storage_stats().commit_batches - batches_before;
   out->commit_requests =
       index->storage_stats().commit_requests - requests_before;
+  // Each pass uses a fresh index, so the counters are this pass's alone.
+  out->latch = index->tree()->latch_stats();
   return true;
 }
 
@@ -117,8 +120,9 @@ int Run(const bench_support::BenchArgs& args) {
             << "tuples: " << args.tuples << " (half preloaded), readers: "
             << kReaders << ", commit every " << kCommitEvery
             << " ops/worker\n";
-  std::printf("%8s %6s %12s %12s %9s %14s\n", "writers", "mode",
-              "inserts/s", "queries/s", "speedup", "commits (b/r)");
+  std::printf("%8s %6s %12s %12s %9s %14s %16s\n", "writers", "mode",
+              "inserts/s", "queries/s", "speedup", "commits (b/r)",
+              "gate-wait (ms)");
 
   double write_only_1w = 0;
   std::vector<std::pair<int, PassResult>> rows;
@@ -172,11 +176,17 @@ int Run(const bench_support::BenchArgs& args) {
       if (!mixed) {
         std::snprintf(speedup_str, sizeof(speedup_str), "%.2fx", speedup);
       }
-      std::printf("%8d %6s %12.0f %12.0f %9s %7llu/%llu\n", writers,
+      const double gate_wait_ms =
+          static_cast<double>(result.latch.gate_wait_us[0] +
+                              result.latch.gate_wait_us[1] +
+                              result.latch.gate_wait_us[2]) /
+          1000.0;
+      std::printf("%8d %6s %12.0f %12.0f %9s %7llu/%llu %16.1f\n", writers,
                   mixed ? "mixed" : "write", result.inserts_per_sec,
                   result.queries_per_sec, speedup_str,
                   static_cast<unsigned long long>(result.commit_batches),
-                  static_cast<unsigned long long>(result.commit_requests));
+                  static_cast<unsigned long long>(result.commit_requests),
+                  gate_wait_ms);
       if (!mixed) rows.emplace_back(writers, result);
     }
   }
@@ -186,10 +196,14 @@ int Run(const bench_support::BenchArgs& args) {
   std::filesystem::create_directories("results", ec);
   std::ofstream csv("results/mixed_readwrite.csv");
   if (csv) {
-    csv << "writers,inserts_per_sec,speedup\n";
+    csv << "writers,inserts_per_sec,speedup,gate_write_blocked,"
+           "gate_write_wait_us,node_latch_blocked,node_latch_wait_us\n";
     for (const auto& [writers, r] : rows) {
       csv << writers << ',' << r.inserts_per_sec << ','
-          << r.inserts_per_sec / write_only_1w << '\n';
+          << r.inserts_per_sec / write_only_1w << ','
+          << r.latch.gate_blocked[1] << ',' << r.latch.gate_wait_us[1]
+          << ',' << r.latch.latch_blocked << ',' << r.latch.latch_wait_us
+          << '\n';
     }
     std::cout << "series written to results/mixed_readwrite.csv\n";
   }

@@ -1,0 +1,340 @@
+#include "check/lock_order.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace segidx::check {
+
+const char* LockClassName(LockClass cls) {
+  switch (cls) {
+    case LockClass::kSkeleton:
+      return "IntervalIndex::skeleton_mu_";
+    case LockClass::kPhaseGate:
+      return "PhaseGate";
+    case LockClass::kNodeLatch:
+      return "NodeLatchTable entry latch";
+    case LockClass::kLatchMap:
+      return "NodeLatchTable::map_mu_";
+    case LockClass::kTreeMeta:
+      return "RTree::meta_mu_";
+    case LockClass::kTreeLeaf:
+      return "RTree::leaf_mu_";
+    case LockClass::kExecPool:
+      return "exec pool mutex";
+    case LockClass::kPagerPartition:
+      return "Pager partition latch";
+    case LockClass::kPagerAlloc:
+      return "Pager::alloc_mu_";
+    case LockClass::kPagerQuarantine:
+      return "Pager::quarantine_mu_";
+    case LockClass::kPagerCommit:
+      return "Pager::commit_mu_";
+    case LockClass::kClassCount:
+      break;
+  }
+  return "unknown lock class";
+}
+
+}  // namespace segidx::check
+
+#if defined(SEGIDX_LOCKDEP)
+
+#include <execinfo.h>
+
+#include <mutex>
+#include <vector>
+
+namespace segidx::check {
+namespace {
+
+constexpr int kNumClasses = static_cast<int>(LockClass::kClassCount);
+constexpr int kMaxFrames = 32;
+
+// One learned acquired-before edge: "a lock of class `from` was held while
+// a lock of class `to` was acquired", plus the stack that first did so.
+struct EdgeInfo {
+  bool present = false;
+  void* frames[kMaxFrames];
+  int depth = 0;
+};
+
+// The validator's own mutex is deliberately a raw std::mutex: it must not
+// validate itself, and it nests strictly innermost (no callback ever runs
+// under it). Whitelisted in tools/lint/check_concurrency.py.
+std::mutex g_graph_mu;
+EdgeInfo g_edges[kNumClasses][kNumClasses];
+
+struct HeldLock {
+  LockClass cls;
+  const void* instance;
+  uint32_t block;  // Node latches only.
+};
+
+struct GateEntry {
+  const void* gate;
+  int mode;  // 0 read, 1 write, 2 exclusive.
+};
+
+struct ThreadState {
+  std::vector<HeldLock> held;
+  std::vector<GateEntry> gates;
+};
+
+ThreadState& State() {
+  thread_local ThreadState state;
+  return state;
+}
+
+void PrintStack(const char* label, void* const* frames, int depth) {
+  std::fprintf(stderr, "%s\n", label);
+  backtrace_symbols_fd(const_cast<void* const*>(frames), depth,
+                       /*fd=*/2);
+}
+
+void PrintCurrentStack(const char* label) {
+  void* frames[kMaxFrames];
+  const int depth = backtrace(frames, kMaxFrames);
+  PrintStack(label, frames, depth);
+}
+
+[[noreturn]] void Die(const char* format, const char* a, const char* b) {
+  std::fprintf(stderr, "lockdep: ");
+  std::fprintf(stderr, format, a, b);
+  std::fprintf(stderr, "\n");
+  PrintCurrentStack("lockdep: violating acquisition:");
+  std::fprintf(stderr,
+               "lockdep: the concurrency contract is docs/CONCURRENCY.md\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+[[noreturn]] void DieBlock(const char* what, uint32_t block) {
+  char detail[160];
+  std::snprintf(detail, sizeof(detail), "%s (node block %u)", what, block);
+  Die("%s%s", detail, "");
+}
+
+// Depth-first reachability in the learned graph. Caller holds g_graph_mu.
+bool ReachableLocked(int from, int to, bool* visited) {
+  if (from == to) return true;
+  visited[from] = true;
+  for (int next = 0; next < kNumClasses; ++next) {
+    if (g_edges[from][next].present && !visited[next] &&
+        ReachableLocked(next, to, visited)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Records held-class -> cls edges for every lock the thread holds, and
+// aborts if any new edge closes a cycle — printing the stack that recorded
+// the reverse path's first edge next to the current one.
+void RecordEdges(LockClass cls) {
+  ThreadState& state = State();
+  if (state.held.empty()) return;
+  const int to = static_cast<int>(cls);
+  bool seen_class[kNumClasses] = {};
+  std::lock_guard<std::mutex> lock(g_graph_mu);
+  for (const HeldLock& held : state.held) {
+    const int from = static_cast<int>(held.cls);
+    if (from == to || seen_class[from]) continue;
+    seen_class[from] = true;
+    EdgeInfo& edge = g_edges[from][to];
+    if (edge.present) continue;
+    // Would from -> to close a cycle? That is: does `to` already reach
+    // `from` through learned edges?
+    bool visited[kNumClasses] = {};
+    if (ReachableLocked(to, from, visited)) {
+      std::fprintf(stderr,
+                   "lockdep: lock-order cycle: acquiring %s while holding "
+                   "%s, but the reverse order was already observed\n",
+                   LockClassName(cls), LockClassName(held.cls));
+      // Print the first recorded edge on the existing to -> ... -> from
+      // path (for a direct inversion this is exactly the other side's
+      // acquisition stack).
+      for (int next = 0; next < kNumClasses; ++next) {
+        const EdgeInfo& other = g_edges[to][next];
+        bool via[kNumClasses] = {};
+        if (other.present && ReachableLocked(next, from, via)) {
+          std::fprintf(stderr,
+                       "lockdep: prior acquisition of %s while holding "
+                       "%s:\n",
+                       LockClassName(static_cast<LockClass>(next)),
+                       LockClassName(static_cast<LockClass>(to)));
+          PrintStack("lockdep: recorded stack:", other.frames, other.depth);
+          break;
+        }
+      }
+      PrintCurrentStack("lockdep: current (cycle-closing) acquisition:");
+      std::fflush(stderr);
+      std::abort();
+    }
+    edge.present = true;
+    edge.depth = backtrace(edge.frames, kMaxFrames);
+  }
+}
+
+// Shared per-acquisition checks for plain mutexes and node latches.
+void CheckBeforeAcquire(LockClass cls, const void* instance) {
+  ThreadState& state = State();
+  for (const HeldLock& held : state.held) {
+    if (held.cls == LockClass::kLatchMap) {
+      Die("acquiring %s while NodeLatchTable::map_mu_ is held — map_mu_ is "
+          "a leaf lock, never held while blocking%s",
+          LockClassName(cls), "");
+    }
+    if (held.cls == cls && held.instance == instance &&
+        cls != LockClass::kNodeLatch) {
+      Die("recursive acquisition of %s (same instance)%s",
+          LockClassName(cls), "");
+    }
+    if (cls == LockClass::kPagerPartition &&
+        held.cls == LockClass::kPagerPartition) {
+      Die("two pager partition latches held at once — shards are strictly "
+          "one-at-a-time%s%s",
+          "", "");
+    }
+  }
+}
+
+}  // namespace
+
+void LockdepOnLock(LockClass cls, const void* instance) {
+  CheckBeforeAcquire(cls, instance);
+  RecordEdges(cls);
+  State().held.push_back({cls, instance, 0});
+}
+
+void LockdepOnUnlock(LockClass cls, const void* instance) {
+  std::vector<HeldLock>& held = State().held;
+  for (size_t i = held.size(); i > 0; --i) {
+    HeldLock& entry = held[i - 1];
+    if (entry.cls == cls && entry.instance == instance) {
+      held.erase(held.begin() + static_cast<ptrdiff_t>(i - 1));
+      return;
+    }
+  }
+  Die("release of %s that this thread does not hold%s", LockClassName(cls),
+      "");
+}
+
+void LockdepPhaseEnter(const void* gate, int mode) {
+  ThreadState& state = State();
+  for (const GateEntry& entry : state.gates) {
+    if (entry.gate == gate) {
+      Die("re-entering a PhaseGate this thread is already inside — "
+          "self-deadlock against the fairness rotation (use SearchGateHeld "
+          "or restructure; docs/CONCURRENCY.md §2)%s%s",
+          "", "");
+    }
+  }
+  for (const HeldLock& held : state.held) {
+    if (held.cls == LockClass::kNodeLatch) {
+      DieBlock(
+          "entering a PhaseGate while holding a node latch — the gate is "
+          "above all node latches",
+          held.block);
+    }
+  }
+  CheckBeforeAcquire(LockClass::kPhaseGate, gate);
+  RecordEdges(LockClass::kPhaseGate);
+  state.held.push_back({LockClass::kPhaseGate, gate, 0});
+  state.gates.push_back({gate, mode});
+}
+
+void LockdepPhaseExit(const void* gate) {
+  ThreadState& state = State();
+  for (size_t i = state.gates.size(); i > 0; --i) {
+    if (state.gates[i - 1].gate == gate) {
+      state.gates.erase(state.gates.begin() + static_cast<ptrdiff_t>(i - 1));
+      LockdepOnUnlock(LockClass::kPhaseGate, gate);
+      return;
+    }
+  }
+  Die("exiting a PhaseGate this thread never entered%s%s", "", "");
+}
+
+void LockdepNodeLatchAcquire(const void* table, uint32_t block,
+                             bool parent_declared, uint32_t parent_block) {
+  ThreadState& state = State();
+  // Phase discipline: latches belong to the write phase (and to the
+  // exclusive maintenance walks that insert, e.g. CoalesceSparseLeaves).
+  bool in_mutation_phase = false;
+  for (const GateEntry& entry : state.gates) {
+    if (entry.mode == 1 || entry.mode == 2) {
+      in_mutation_phase = true;
+      break;
+    }
+  }
+  if (!in_mutation_phase) {
+    DieBlock(
+        "node latch acquired outside a write/exclusive phase "
+        "(docs/CONCURRENCY.md §3: gate before latches)",
+        block);
+  }
+  // Crabbing rule.
+  size_t latches_held = 0;
+  bool parent_held = false;
+  bool self_held = false;
+  for (const HeldLock& held : state.held) {
+    if (held.cls != LockClass::kNodeLatch || held.instance != table) {
+      continue;
+    }
+    ++latches_held;
+    if (held.block == parent_block) parent_held = true;
+    if (held.block == block) self_held = true;
+  }
+  if (self_held) {
+    DieBlock("node latch re-acquired by its holder (self-deadlock)", block);
+  }
+  if (parent_declared) {
+    if (!parent_held) {
+      char detail[160];
+      std::snprintf(detail, sizeof(detail),
+                    "crabbing violation: latch %u acquired as a child of %u "
+                    "but the parent latch is not held",
+                    block, parent_block);
+      Die("%s%s", detail, "");
+    }
+  } else if (latches_held != 0) {
+    DieBlock(
+        "standalone latch acquisition (root protocol / demotion drain) "
+        "while other node latches are held",
+        block);
+  }
+  CheckBeforeAcquire(LockClass::kNodeLatch, table);
+  RecordEdges(LockClass::kNodeLatch);
+  state.held.push_back({LockClass::kNodeLatch, table, block});
+}
+
+void LockdepNodeLatchRelease(const void* table, uint32_t block) {
+  std::vector<HeldLock>& held = State().held;
+  for (size_t i = held.size(); i > 0; --i) {
+    HeldLock& entry = held[i - 1];
+    if (entry.cls == LockClass::kNodeLatch && entry.instance == table &&
+        entry.block == block) {
+      held.erase(held.begin() + static_cast<ptrdiff_t>(i - 1));
+      return;
+    }
+  }
+  DieBlock("release of a node latch this thread does not hold", block);
+}
+
+void LockdepResetForTesting() {
+  {
+    std::lock_guard<std::mutex> lock(g_graph_mu);
+    for (int from = 0; from < kNumClasses; ++from) {
+      for (int to = 0; to < kNumClasses; ++to) {
+        g_edges[from][to] = EdgeInfo();
+      }
+    }
+  }
+  ThreadState& state = State();
+  state.held.clear();
+  state.gates.clear();
+}
+
+}  // namespace segidx::check
+
+#endif  // SEGIDX_LOCKDEP

@@ -1,0 +1,104 @@
+// Annotated mutex and condition-variable wrappers.
+//
+// libstdc++'s std::mutex carries no thread-safety attributes, so
+// `GUARDED_BY(some_std_mutex)` teaches clang's -Wthread-safety nothing: it
+// cannot see where the lock is taken. These thin wrappers restate the
+// standard primitives as annotated capabilities; every latch-bearing class
+// in the tree (PhaseGate, NodeLatchTable, Pager, RTree, IntervalIndex,
+// the exec pools) holds a common::Mutex so the contract in
+// docs/CONCURRENCY.md is machine-checked at compile time. Zero runtime
+// cost over the std types.
+//
+// The repo-specific lint (tools/lint/check_concurrency.py) rejects raw
+// std::mutex / std::lock_guard / std::condition_variable in src/ outside a
+// short whitelist, so new locking code cannot silently bypass the
+// annotations.
+
+#ifndef SEGIDX_COMMON_MUTEX_H_
+#define SEGIDX_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace segidx::common {
+
+class CondVar;
+
+// std::mutex as an annotated capability.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // For functions whose contract says "caller holds the lock" but that
+  // cannot carry REQUIRES (e.g. reached through a std call): a no-op that
+  // teaches the analysis the capability is held here.
+  void AssertHeld() ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// RAII lock for one scope.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+// Condition variable bound to common::Mutex. Wait atomically releases the
+// mutex, sleeps, and reacquires it before returning — the caller holds the
+// mutex across the call from the analysis' point of view, which matches
+// the invariant the caller actually relies on. Standard contract applies:
+// re-check the predicate in a loop around every wait.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex* mu) REQUIRES(mu) NO_THREAD_SAFETY_ANALYSIS {
+    // Adopt the already-held mutex so std::condition_variable can release
+    // and reacquire it, then detach again without unlocking. The capability
+    // is held on entry and on exit, which is all callers may assume; the
+    // window in between is what the predicate loop re-checks.
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  // Returns false if `deadline` passed (the predicate is unchecked either
+  // way; loop as usual).
+  bool WaitUntil(Mutex* mu, std::chrono::steady_clock::time_point deadline)
+      REQUIRES(mu) NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(lock, deadline);
+    lock.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace segidx::common
+
+#endif  // SEGIDX_COMMON_MUTEX_H_

@@ -1,0 +1,80 @@
+// Clang Thread Safety Analysis attribute macros.
+//
+// These expand to the `capability`-family attributes when the compiler
+// supports them (clang with -Wthread-safety) and to nothing elsewhere
+// (GCC builds them as no-ops; the tier-1 CI job doubles as the no-op
+// check). They let the concurrency contract in docs/CONCURRENCY.md be
+// stated on the types that implement it — `common::Mutex` is the
+// annotated capability, classes mark protected members GUARDED_BY and
+// lock-holding preconditions REQUIRES — so a descent that touches guarded
+// state without its latch fails the clang CI build instead of surfacing
+// as a TSan flake.
+//
+// Naming follows the upstream clang documentation (unprefixed CAPABILITY,
+// GUARDED_BY, ...). Keep this header free of any other includes: it is
+// pulled into every latch-bearing header in the tree.
+
+#ifndef SEGIDX_COMMON_THREAD_ANNOTATIONS_H_
+#define SEGIDX_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SEGIDX_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef SEGIDX_THREAD_ANNOTATION_
+#define SEGIDX_THREAD_ANNOTATION_(x)  // Not clang (or too old): no-op.
+#endif
+
+// On types: this class is a capability (a lock). The string names the
+// capability kind in diagnostics ("mutex").
+#define CAPABILITY(x) SEGIDX_THREAD_ANNOTATION_(capability(x))
+
+// On types: RAII object that acquires a capability in its constructor and
+// releases it in its destructor.
+#define SCOPED_CAPABILITY SEGIDX_THREAD_ANNOTATION_(scoped_lockable)
+
+// On data members: reads/writes require holding the named capability.
+#define GUARDED_BY(x) SEGIDX_THREAD_ANNOTATION_(guarded_by(x))
+
+// On pointer members: the pointed-to data (not the pointer) is guarded.
+#define PT_GUARDED_BY(x) SEGIDX_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// On functions: caller must hold the capability (exclusively / shared).
+#define REQUIRES(...) \
+  SEGIDX_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  SEGIDX_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+// On functions: acquires / releases the capability.
+#define ACQUIRE(...) SEGIDX_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  SEGIDX_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) SEGIDX_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  SEGIDX_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+// On functions: acquires the capability iff the return value equals the
+// first argument.
+#define TRY_ACQUIRE(...) \
+  SEGIDX_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+// On functions: caller must NOT hold the capability (deadlock guard for
+// non-reentrant locks).
+#define EXCLUDES(...) SEGIDX_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// On functions: asserts (at runtime, by contract) that the capability is
+// held, teaching the analysis without an acquire.
+#define ASSERT_CAPABILITY(x) SEGIDX_THREAD_ANNOTATION_(assert_capability(x))
+
+// On functions: returns a reference to the named capability.
+#define RETURN_CAPABILITY(x) SEGIDX_THREAD_ANNOTATION_(lock_returned(x))
+
+// Escape hatch for code the analysis cannot follow (hand-over-hand latch
+// transfer, adopt/release tricks). Every use must say why in a comment and
+// name the mechanism that checks the invariant instead (usually the
+// SEGIDX_LOCKDEP runtime validator, src/check/lock_order.h).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  SEGIDX_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // SEGIDX_COMMON_THREAD_ANNOTATIONS_H_

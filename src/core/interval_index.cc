@@ -5,12 +5,16 @@
 #include <thread>
 #include <unordered_set>
 
+#include "check/lock_order.h"
 #include "common/logging.h"
 #include "storage/block_device.h"
 
 namespace segidx::core {
 
 namespace {
+
+using check::LockClass;
+using check::TrackedMutexLock;
 
 // Facade metadata appended after the tree's metadata in the pager's user
 // area: magic "CO", index kind, skeleton-built flag.
@@ -156,7 +160,7 @@ Status IntervalIndex::Insert(const Rect& rect, TupleId tid) {
     // The skeleton's sample buffer is plain memory; serialize mutations on
     // it here. Once built, inserts still flow through skeleton_->Insert
     // (it forwards to the tree), so keep the lock unconditionally.
-    std::lock_guard<std::mutex> lock(skeleton_mu_);
+    TrackedMutexLock lock(&skeleton_mu_, LockClass::kSkeleton);
     status = skeleton_->Insert(rect, tid);
   } else {
     status = tree_->Insert(rect, tid);
@@ -177,7 +181,7 @@ Status IntervalIndex::Search(const Rect& query,
     // A search against a still-buffering skeleton builds the tree as a side
     // effect, producing pages that need a checkpoint; the lock serializes
     // that build against concurrent skeleton mutation.
-    std::lock_guard<std::mutex> lock(skeleton_mu_);
+    TrackedMutexLock lock(&skeleton_mu_, LockClass::kSkeleton);
     const bool was_building = !skeleton_->built();
     Status status = skeleton_->Search(query, out, nodes_accessed);
     if (status.ok() && was_building && skeleton_->built()) {
@@ -267,7 +271,7 @@ Status IntervalIndex::Delete(const Rect& rect, TupleId tid) {
 
 Status IntervalIndex::Finalize() {
   if (skeleton_ == nullptr) return Status::OK();
-  std::lock_guard<std::mutex> lock(skeleton_mu_);
+  TrackedMutexLock lock(&skeleton_mu_, LockClass::kSkeleton);
   const bool was_building = !skeleton_->built();
   SEGIDX_RETURN_IF_ERROR(skeleton_->Finalize());
   if (was_building && skeleton_->built()) {

@@ -30,12 +30,12 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "check/structure_checker.h"
 #include "common/geometry.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "exec/query_engine.h"
@@ -253,7 +253,9 @@ class IntervalIndex {
   std::unique_ptr<exec::QueryEngine> engine_;
   // Serializes skeleton sample buffering / finalize (plain memory, unlike
   // the tree's own latched write path). Uncontended for built skeletons.
-  std::mutex skeleton_mu_;
+  // Lock order: held while entering the tree's phase gate (a buffered
+  // search builds the tree under it), so kSkeleton sits above kPhaseGate.
+  common::Mutex skeleton_mu_;
   // True when mutations have happened since the last successful Commit();
   // Close() only checkpoints when set. Raised by concurrent writers,
   // cleared by the group-commit leader.

@@ -2,7 +2,14 @@
 
 #include <algorithm>
 
+#include "check/lock_order.h"
+
 namespace segidx::exec {
+
+namespace {
+using check::LockClass;
+using check::TrackedMutexLock;
+}  // namespace
 
 QueryEngine::QueryEngine(rtree::RTree* tree,
                          const QueryEngineOptions& options)
@@ -16,10 +23,10 @@ QueryEngine::QueryEngine(rtree::RTree* tree,
 
 QueryEngine::~QueryEngine() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    TrackedMutexLock lock(&mu_, LockClass::kExecPool);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -49,19 +56,21 @@ Status QueryEngine::SearchBatch(const std::vector<Rect>& queries,
   rtree::PhaseGate::Scope gate(&tree_->phase_gate(),
                                rtree::PhaseGate::Mode::kRead);
 
-  std::unique_lock<std::mutex> lock(mu_);
-  queries_ = &queries;
-  results_ = results;
-  options_ = &options;
-  next_.store(0, std::memory_order_relaxed);
-  failed_.store(false, std::memory_order_relaxed);
-  active_workers_ = static_cast<int>(workers_.size());
-  ++generation_;
-  work_cv_.notify_all();
-  done_cv_.wait(lock, [this] { return active_workers_ == 0; });
-  queries_ = nullptr;
-  results_ = nullptr;
-  options_ = nullptr;
+  {
+    TrackedMutexLock lock(&mu_, LockClass::kExecPool);
+    queries_ = &queries;
+    results_ = results;
+    options_ = &options;
+    next_.store(0, std::memory_order_relaxed);
+    failed_.store(false, std::memory_order_relaxed);
+    active_workers_ = static_cast<int>(workers_.size());
+    ++generation_;
+    work_cv_.NotifyAll();
+    while (active_workers_ != 0) done_cv_.Wait(&mu_);
+    queries_ = nullptr;
+    results_ = nullptr;
+    options_ = nullptr;
+  }
 
   // Derive the batch status from the per-entry statuses in query order so
   // it does not depend on which worker reported first.
@@ -92,9 +101,8 @@ void QueryEngine::WorkerLoop() {
     std::vector<BatchResult>* results;
     const rtree::SearchOptions* options;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock,
-                    [&] { return stop_ || generation_ != seen_gen; });
+      TrackedMutexLock lock(&mu_, LockClass::kExecPool);
+      while (!stop_ && generation_ == seen_gen) work_cv_.Wait(&mu_);
       if (stop_) return;
       seen_gen = generation_;
       queries = queries_;
@@ -129,8 +137,8 @@ void QueryEngine::WorkerLoop() {
                                    std::memory_order_relaxed);
 
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--active_workers_ == 0) done_cv_.notify_all();
+      TrackedMutexLock lock(&mu_, LockClass::kExecPool);
+      if (--active_workers_ == 0) done_cv_.NotifyAll();
     }
   }
 }

@@ -19,14 +19,14 @@
 #define SEGIDX_EXEC_QUERY_ENGINE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/geometry.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "rtree/rtree.h"
 
 namespace segidx::exec {
@@ -91,15 +91,18 @@ class QueryEngine {
 
   rtree::RTree* tree_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // Workers wait for a batch (or stop).
-  std::condition_variable done_cv_;   // SearchBatch waits for completion.
-  uint64_t generation_ = 0;           // Bumped once per batch.
-  bool stop_ = false;
-  const std::vector<Rect>* queries_ = nullptr;   // Current batch.
-  std::vector<BatchResult>* results_ = nullptr;
-  const rtree::SearchOptions* options_ = nullptr;
-  int active_workers_ = 0;            // Workers still in the current batch.
+  common::Mutex mu_;
+  common::CondVar work_cv_;  // Workers wait for a batch (or stop).
+  common::CondVar done_cv_;  // SearchBatch waits for completion.
+  // Bumped once per batch.
+  uint64_t generation_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
+  // Current batch.
+  const std::vector<Rect>* queries_ GUARDED_BY(mu_) = nullptr;
+  std::vector<BatchResult>* results_ GUARDED_BY(mu_) = nullptr;
+  const rtree::SearchOptions* options_ GUARDED_BY(mu_) = nullptr;
+  // Workers still in the current batch.
+  int active_workers_ GUARDED_BY(mu_) = 0;
 
   std::atomic<size_t> next_{0};       // Next unclaimed query index.
   std::atomic<bool> failed_{false};   // Short-circuits the rest of a batch.

@@ -2,7 +2,14 @@
 
 #include <algorithm>
 
+#include "check/lock_order.h"
+
 namespace segidx::exec {
+
+namespace {
+using check::LockClass;
+using check::TrackedMutexLock;
+}  // namespace
 
 WritePool::WritePool(rtree::RTree* tree, std::function<Status()> commit,
                      const WritePoolOptions& options)
@@ -18,28 +25,30 @@ WritePool::WritePool(rtree::RTree* tree, std::function<Status()> commit,
 
 WritePool::~WritePool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    TrackedMutexLock lock(&mu_, LockClass::kExecPool);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
 Status WritePool::ApplyBatch(const std::vector<WriteOp>& ops) {
   if (ops.empty()) return Status::OK();
 
-  std::unique_lock<std::mutex> lock(mu_);
-  ops_ = &ops;
-  batch_status_ = Status::OK();
-  next_.store(0, std::memory_order_relaxed);
-  failed_.store(false, std::memory_order_relaxed);
-  active_workers_ = static_cast<int>(workers_.size());
-  ++generation_;
-  work_cv_.notify_all();
-  done_cv_.wait(lock, [this] { return active_workers_ == 0; });
-  ops_ = nullptr;
-  Status status = batch_status_;
-  lock.unlock();
+  Status status;
+  {
+    TrackedMutexLock lock(&mu_, LockClass::kExecPool);
+    ops_ = &ops;
+    batch_status_ = Status::OK();
+    next_.store(0, std::memory_order_relaxed);
+    failed_.store(false, std::memory_order_relaxed);
+    active_workers_ = static_cast<int>(workers_.size());
+    ++generation_;
+    work_cv_.NotifyAll();
+    while (active_workers_ != 0) done_cv_.Wait(&mu_);
+    ops_ = nullptr;
+    status = batch_status_;
+  }
 
   // Final commit: every applied operation of the batch is durable before
   // ApplyBatch acknowledges it. Runs even after a failed insert so the
@@ -56,9 +65,8 @@ void WritePool::WorkerLoop() {
   for (;;) {
     const std::vector<WriteOp>* ops;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock,
-                    [&] { return stop_ || generation_ != seen_gen; });
+      TrackedMutexLock lock(&mu_, LockClass::kExecPool);
+      while (!stop_ && generation_ == seen_gen) work_cv_.Wait(&mu_);
       if (stop_) return;
       seen_gen = generation_;
       ops = ops_;
@@ -95,11 +103,11 @@ void WritePool::WorkerLoop() {
     total_applied_.fetch_add(applied, std::memory_order_relaxed);
 
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      TrackedMutexLock lock(&mu_, LockClass::kExecPool);
       if (!first_error.ok() && batch_status_.ok()) {
         batch_status_ = std::move(first_error);
       }
-      if (--active_workers_ == 0) done_cv_.notify_all();
+      if (--active_workers_ == 0) done_cv_.NotifyAll();
     }
   }
 }

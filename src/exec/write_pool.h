@@ -20,16 +20,16 @@
 #define SEGIDX_EXEC_WRITE_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/geometry.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "rtree/rtree.h"
 
@@ -84,14 +84,18 @@ class WritePool {
   std::function<Status()> commit_;
   uint64_t commit_every_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // Workers wait for a batch (or stop).
-  std::condition_variable done_cv_;   // ApplyBatch waits for completion.
-  uint64_t generation_ = 0;           // Bumped once per batch.
-  bool stop_ = false;
-  const std::vector<WriteOp>* ops_ = nullptr;  // Current batch.
-  Status batch_status_;               // First error of the current batch.
-  int active_workers_ = 0;            // Workers still in the current batch.
+  common::Mutex mu_;
+  common::CondVar work_cv_;  // Workers wait for a batch (or stop).
+  common::CondVar done_cv_;  // ApplyBatch waits for completion.
+  // Bumped once per batch.
+  uint64_t generation_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
+  // Current batch.
+  const std::vector<WriteOp>* ops_ GUARDED_BY(mu_) = nullptr;
+  // First error of the current batch.
+  Status batch_status_ GUARDED_BY(mu_);
+  // Workers still in the current batch.
+  int active_workers_ GUARDED_BY(mu_) = 0;
 
   std::atomic<size_t> next_{0};       // Next unclaimed operation index.
   std::atomic<bool> failed_{false};   // Short-circuits the rest of a batch.

@@ -1,6 +1,22 @@
 #include "rtree/latch.h"
 
+#include <chrono>
+
 namespace segidx::rtree {
+
+namespace {
+
+using check::LockClass;
+using check::TrackedMutexLock;
+
+uint64_t ElapsedUs(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
 
 bool PhaseGate::CanEnterLocked(Mode mode) const {
   if (active_ == 0) {
@@ -17,10 +33,22 @@ bool PhaseGate::CanEnterLocked(Mode mode) const {
 }
 
 void PhaseGate::Enter(Mode mode) {
-  std::unique_lock<std::mutex> lock(mu_);
+  check::LockdepPhaseEnter(this, static_cast<int>(mode));
+  common::MutexLock lock(&mu_);
   const int m = static_cast<int>(mode);
+  ++enters_[m];
   ++waiting_[m];
-  cv_.wait(lock, [&] { return CanEnterLocked(mode); });
+  bool blocked = false;
+  std::chrono::steady_clock::time_point wait_start;
+  while (!CanEnterLocked(mode)) {
+    if (!blocked) {
+      blocked = true;
+      ++blocked_[m];
+      wait_start = std::chrono::steady_clock::now();
+    }
+    cv_.Wait(&mu_);
+  }
+  if (blocked) wait_us_[m] += ElapsedUs(wait_start);
   --waiting_[m];
   if (active_ == 0) {
     active_mode_ = mode;
@@ -33,32 +61,51 @@ void PhaseGate::Enter(Mode mode) {
   ++active_;
   if (admit_quota_ > 0) {
     // Batch peers may have re-blocked before the quota opened; wake them.
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 }
 
 void PhaseGate::Exit(Mode mode) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (--active_ == 0) {
-    admit_quota_ = 0;
-    // Rotate the turn to the next mode with waiters (starting after the
-    // mode that just drained) so waiting modes are served round-robin.
-    const int from = static_cast<int>(mode);
-    for (int step = 1; step <= 3; ++step) {
-      const int candidate = (from + step) % 3;
-      if (waiting_[candidate] > 0) {
-        turn_ = static_cast<Mode>(candidate);
-        break;
+  {
+    common::MutexLock lock(&mu_);
+    if (--active_ == 0) {
+      admit_quota_ = 0;
+      // Rotate the turn to the next mode with waiters (starting after the
+      // mode that just drained) so waiting modes are served round-robin.
+      const int from = static_cast<int>(mode);
+      for (int step = 1; step <= 3; ++step) {
+        const int candidate = (from + step) % 3;
+        if (waiting_[candidate] > 0) {
+          turn_ = static_cast<Mode>(candidate);
+          break;
+        }
       }
+      cv_.NotifyAll();
     }
-    cv_.notify_all();
+  }
+  check::LockdepPhaseExit(this);
+}
+
+void PhaseGate::AccumulateStats(LatchStats* out) const {
+  common::MutexLock lock(&mu_);
+  for (int m = 0; m < 3; ++m) {
+    out->gate_enters[m] += enters_[m];
+    out->gate_blocked[m] += blocked_[m];
+    out->gate_wait_us[m] += wait_us_[m];
   }
 }
 
-NodeLatchTable::Guard NodeLatchTable::Acquire(uint32_t block) {
+// Hand-over-hand: the entry latch outlives this scope (released later by
+// the Guard), which the scope-based compile-time analysis cannot express —
+// the runtime validator (check/lock_order.h) checks the ordering instead.
+NodeLatchTable::Guard NodeLatchTable::Acquire(uint32_t block,
+                                              LatchOrigin origin)
+    NO_THREAD_SAFETY_ANALYSIS {
+  check::LockdepNodeLatchAcquire(this, block, origin.has_parent,
+                                 origin.parent_block);
   Guard::Entry* entry = nullptr;
   {
-    std::lock_guard<std::mutex> lock(map_mu_);
+    TrackedMutexLock lock(&map_mu_, LockClass::kLatchMap);
     auto& slot = entries_[block];
     if (slot == nullptr) {
       slot = std::make_unique<Guard::Entry>();
@@ -68,16 +115,24 @@ NodeLatchTable::Guard NodeLatchTable::Acquire(uint32_t block) {
     ++entry->refs;
   }
   // Block on the node latch without holding the map mutex.
-  entry->mu.lock();
+  acquires_.fetch_add(1, std::memory_order_relaxed);
+  if (!entry->mu.TryLock()) {
+    blocked_.fetch_add(1, std::memory_order_relaxed);
+    const auto wait_start = std::chrono::steady_clock::now();
+    entry->mu.Lock();
+    wait_us_.fetch_add(ElapsedUs(wait_start), std::memory_order_relaxed);
+  }
   return Guard(this, entry);
 }
 
-void NodeLatchTable::Guard::Release() {
+void NodeLatchTable::Guard::Release() NO_THREAD_SAFETY_ANALYSIS {
   if (entry_ == nullptr) return;
-  entry_->mu.unlock();
+  const uint32_t block = entry_->block;
+  entry_->mu.Unlock();
+  check::LockdepNodeLatchRelease(table_, block);
   {
-    std::lock_guard<std::mutex> lock(table_->map_mu_);
-    if (--entry_->refs == 0) table_->entries_.erase(entry_->block);
+    TrackedMutexLock lock(&table_->map_mu_, LockClass::kLatchMap);
+    if (--entry_->refs == 0) table_->entries_.erase(block);
   }
   table_ = nullptr;
   entry_ = nullptr;
@@ -85,6 +140,12 @@ void NodeLatchTable::Guard::Release() {
 
 uint32_t NodeLatchTable::Guard::block() const {
   return entry_ != nullptr ? entry_->block : 0;
+}
+
+void NodeLatchTable::AccumulateStats(LatchStats* out) const {
+  out->latch_acquires += acquires_.load(std::memory_order_relaxed);
+  out->latch_blocked += blocked_.load(std::memory_order_relaxed);
+  out->latch_wait_us += wait_us_.load(std::memory_order_relaxed);
 }
 
 }  // namespace segidx::rtree

@@ -17,19 +17,43 @@
 //    deadlock-freedom argument). Readers never touch node latches — they
 //    are excluded wholesale by the phase gate.
 //
+// The contract is machine-checked three ways (docs/CONCURRENCY.md §7):
+// clang -Wthread-safety via the annotations below, the SEGIDX_LOCKDEP
+// runtime validator hooked into Enter/Acquire (check/lock_order.h), and
+// tools/lint/check_concurrency.py (bare Enter/Exit outside Scope, blocking
+// under map_mu_). Both classes also count contention (LatchStats) so
+// gate/latch waits are visible in `segidx stats` and bench-mixed.
+//
 // Both are self-contained standard-library constructs; neither knows about
 // pages or nodes beyond the 32-bit block key.
 
 #ifndef SEGIDX_RTREE_LATCH_H_
 #define SEGIDX_RTREE_LATCH_H_
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
+#include "check/lock_order.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
 namespace segidx::rtree {
+
+// Contention counters for the write-path primitives. Snapshot via
+// RTree::latch_stats(); a consistent read requires quiescence, like every
+// other stats struct in the tree.
+struct LatchStats {
+  // Phase gate, indexed by PhaseGate::Mode (0 read, 1 write, 2 exclusive).
+  uint64_t gate_enters[3] = {0, 0, 0};
+  uint64_t gate_blocked[3] = {0, 0, 0};  // Entries that had to wait.
+  uint64_t gate_wait_us[3] = {0, 0, 0};  // Total blocked time per mode.
+  // Node latch table.
+  uint64_t latch_acquires = 0;
+  uint64_t latch_blocked = 0;  // Acquires that found the latch held.
+  uint64_t latch_wait_us = 0;  // Total blocked time.
+};
 
 // Three-way phase gate. Threads in the same shared mode run concurrently;
 // threads in different modes never overlap. kExclusive admits one thread
@@ -44,8 +68,14 @@ class PhaseGate {
     kExclusive = 2,  // Alone: checkpoint, checks, bulk ops.
   };
 
+  // Prefer Scope. Bare Enter/Exit outside this file is rejected by
+  // tools/lint/check_concurrency.py — an early return between them leaks
+  // the phase.
   void Enter(Mode mode);
   void Exit(Mode mode);
+
+  // Adds this gate's counters into `out`.
+  void AccumulateStats(LatchStats* out) const;
 
   // RAII scope. Movable so it can be returned from helpers.
   class Scope {
@@ -83,15 +113,22 @@ class PhaseGate {
   };
 
  private:
-  bool CanEnterLocked(Mode mode) const;
+  bool CanEnterLocked(Mode mode) const REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  Mode active_mode_ = Mode::kRead;
-  Mode turn_ = Mode::kRead;  // Mode favored when the gate drains empty.
-  int active_ = 0;
-  int admit_quota_ = 0;  // Same-mode waiters still owed entry this turn.
-  int waiting_[3] = {0, 0, 0};
+  mutable common::Mutex mu_;
+  common::CondVar cv_;
+  Mode active_mode_ GUARDED_BY(mu_) = Mode::kRead;
+  // Mode favored when the gate drains empty.
+  Mode turn_ GUARDED_BY(mu_) = Mode::kRead;
+  int active_ GUARDED_BY(mu_) = 0;
+  // Same-mode waiters still owed entry this turn.
+  int admit_quota_ GUARDED_BY(mu_) = 0;
+  int waiting_[3] GUARDED_BY(mu_) = {0, 0, 0};
+  // Contention counters (LatchStats), updated under mu_ which Enter holds
+  // anyway.
+  uint64_t enters_[3] GUARDED_BY(mu_) = {0, 0, 0};
+  uint64_t blocked_[3] GUARDED_BY(mu_) = {0, 0, 0};
+  uint64_t wait_us_[3] GUARDED_BY(mu_) = {0, 0, 0};
 };
 
 // Exclusive latch per node extent, keyed by first block number. Entries are
@@ -104,6 +141,20 @@ class NodeLatchTable {
   NodeLatchTable() = default;
   NodeLatchTable(const NodeLatchTable&) = delete;
   NodeLatchTable& operator=(const NodeLatchTable&) = delete;
+
+  // How an acquisition satisfies the latch-order contract
+  // (docs/CONCURRENCY.md §3). Declared at every call site and checked at
+  // runtime by the SEGIDX_LOCKDEP validator.
+  struct LatchOrigin {
+    // Crabbing: the caller holds `parent`'s latch and is descending.
+    static LatchOrigin Child(uint32_t parent) { return {true, parent}; }
+    // Root retry protocol / SR-Tree demotion drain: the caller holds no
+    // node latch at all.
+    static LatchOrigin Standalone() { return {false, 0}; }
+
+    bool has_parent = false;
+    uint32_t parent_block = 0;
+  };
 
   // Move-only RAII holder for one latched node.
   class Guard {
@@ -134,8 +185,8 @@ class NodeLatchTable {
    private:
     friend class NodeLatchTable;
     struct Entry {
-      std::mutex mu;
-      int refs = 0;
+      common::Mutex mu;
+      int refs = 0;  // Guarded by the table's map_mu_.
       uint32_t block = 0;
     };
     Guard(NodeLatchTable* table, Entry* entry)
@@ -146,12 +197,21 @@ class NodeLatchTable {
   };
 
   // Blocks until the latch on `block` is held. The caller must follow the
-  // tree latch order (parent before child; see docs/CONCURRENCY.md).
-  Guard Acquire(uint32_t block);
+  // tree latch order (parent before child; see docs/CONCURRENCY.md) and
+  // declare how via `origin`.
+  Guard Acquire(uint32_t block, LatchOrigin origin);
+
+  // Adds this table's counters into `out`.
+  void AccumulateStats(LatchStats* out) const;
 
  private:
-  std::mutex map_mu_;
-  std::unordered_map<uint32_t, std::unique_ptr<Guard::Entry>> entries_;
+  common::Mutex map_mu_;
+  std::unordered_map<uint32_t, std::unique_ptr<Guard::Entry>> entries_
+      GUARDED_BY(map_mu_);
+  // Contention counters (LatchStats); relaxed — bumped outside map_mu_.
+  std::atomic<uint64_t> acquires_{0};
+  std::atomic<uint64_t> blocked_{0};
+  std::atomic<uint64_t> wait_us_{0};
 };
 
 }  // namespace segidx::rtree

@@ -13,6 +13,10 @@ namespace segidx::rtree {
 
 namespace {
 
+using check::LockClass;
+using check::TrackedMutexLock;
+using LatchOrigin = NodeLatchTable::LatchOrigin;
+
 constexpr uint32_t kTreeMetaMagic = 0x54524545;  // "TREE"
 constexpr uint16_t kTreeMetaVersion = 1;
 constexpr size_t kTreeMetaBytes = 74;
@@ -64,7 +68,7 @@ Status RTree::SetupEmptyRoot() {
                           pager_->Allocate(SizeClassForLevel(0)));
   SEGIDX_RETURN_IF_ERROR(root.Serialize(page.data(), page.size(), checksum_kind_));
   page.MarkDirty();
-  std::lock_guard<std::mutex> lock(meta_mu_);
+  TrackedMutexLock lock(&meta_mu_, LockClass::kTreeMeta);
   root_ = page.id();
   root_level_ = 0;
   root_region_valid_ = false;
@@ -139,12 +143,12 @@ Status RTree::WriteNode(storage::PageId id, const Node& node) {
 }
 
 void RTree::NoteLeafModified(uint32_t block) {
-  std::lock_guard<std::mutex> lock(leaf_mu_);
+  TrackedMutexLock lock(&leaf_mu_, LockClass::kTreeLeaf);
   ++leaf_mod_counts_[block];
 }
 
 void RTree::ForgetLeaf(uint32_t block) {
-  std::lock_guard<std::mutex> lock(leaf_mu_);
+  TrackedMutexLock lock(&leaf_mu_, LockClass::kTreeLeaf);
   leaf_mod_counts_.erase(block);
 }
 
@@ -190,11 +194,12 @@ Status RTree::InsertOne(const Rect& rect, TupleId tid, InsertContext* ctx) {
   Rect root_region;
   for (;;) {
     {
-      std::lock_guard<std::mutex> lock(meta_mu_);
+      TrackedMutexLock lock(&meta_mu_, LockClass::kTreeMeta);
       root = root_;
     }
-    NodeLatchTable::Guard guard = latch_table_.Acquire(root.block);
-    std::lock_guard<std::mutex> lock(meta_mu_);
+    NodeLatchTable::Guard guard =
+        latch_table_.Acquire(root.block, LatchOrigin::Standalone());
+    TrackedMutexLock lock(&meta_mu_, LockClass::kTreeMeta);
     if (root_.block == root.block) {
       root = root_;
       if (!root_region_valid_) {
@@ -224,7 +229,7 @@ Status RTree::InsertOne(const Rect& rect, TupleId tid, InsertContext* ctx) {
     // Root latch retained: the root region may have grown. When crabbing
     // released it instead, containment held at the release point, so the
     // root region provably did not change.
-    std::lock_guard<std::mutex> lock(meta_mu_);
+    TrackedMutexLock lock(&meta_mu_, LockClass::kTreeMeta);
     root_region_ = root_region;
   }
   ctx->latches.clear();
@@ -311,8 +316,8 @@ Result<std::optional<BranchEntry>> RTree::InsertRecursive(
   // order only). The child guard is popped back off after the descent
   // unless a deeper safe node already released this whole prefix.
   const size_t depth = ctx->latches.size();
-  ctx->latches.push_back(
-      latch_table_.Acquire(node.branches[idx].child.block));
+  ctx->latches.push_back(latch_table_.Acquire(
+      node.branches[idx].child.block, LatchOrigin::Child(node_id.block)));
   SEGIDX_ASSIGN_OR_RETURN(
       std::optional<BranchEntry> child_split,
       InsertRecursive(node.branches[idx].child, &child_region,
@@ -503,7 +508,7 @@ Result<BranchEntry> RTree::SplitNode(storage::PageId node_id, Node* node,
 
   if (node->is_leaf()) {
     // Split the modification statistic between the halves.
-    std::lock_guard<std::mutex> lock(leaf_mu_);
+    TrackedMutexLock lock(&leaf_mu_, LockClass::kTreeLeaf);
     const uint64_t count = leaf_mod_counts_[node_id.block];
     leaf_mod_counts_[node_id.block] = count / 2;
     leaf_mod_counts_[sibling_id.block] = count / 2;
@@ -531,7 +536,7 @@ Status RTree::GrowRootAfterSplit(const BranchEntry& old_root,
   // means no safe node released it), so no other writer can be moving the
   // root concurrently; meta_mu_ publishes the new root to writers blocked
   // in the root protocol.
-  std::lock_guard<std::mutex> lock(meta_mu_);
+  TrackedMutexLock lock(&meta_mu_, LockClass::kTreeMeta);
   root_ = page.id();
   root_level_ = new_root.level;
   root_region_ = old_root.rect.Enclose(sibling.rect);
@@ -681,11 +686,12 @@ Status RTree::Delete(const Rect& rect, TupleId tid) {
   for (;;) {
     storage::PageId seen;
     {
-      std::lock_guard<std::mutex> lock(meta_mu_);
+      TrackedMutexLock lock(&meta_mu_, LockClass::kTreeMeta);
       seen = root_;
     }
-    NodeLatchTable::Guard guard = latch_table_.Acquire(seen.block);
-    std::lock_guard<std::mutex> lock(meta_mu_);
+    NodeLatchTable::Guard guard =
+        latch_table_.Acquire(seen.block, LatchOrigin::Standalone());
+    TrackedMutexLock lock(&meta_mu_, LockClass::kTreeMeta);
     if (root_.block != seen.block) continue;  // Root moved; retry.
     root = root_;
     region = root_region_;
@@ -704,7 +710,7 @@ Status RTree::Delete(const Rect& rect, TupleId tid) {
                                   &underflow, &accesses));
   if (!found) return NotFoundError("no such index record");
   {
-    std::lock_guard<std::mutex> lock(meta_mu_);
+    TrackedMutexLock lock(&meta_mu_, LockClass::kTreeMeta);
     root_region_ = region;
   }
 
@@ -716,7 +722,7 @@ Status RTree::Delete(const Rect& rect, TupleId tid) {
     SEGIDX_ASSIGN_OR_RETURN(Node root_node, ReadNode(root, &accesses));
     if (root_node.is_leaf()) {
       if (root_node.records.empty()) {
-        std::lock_guard<std::mutex> lock(meta_mu_);
+        TrackedMutexLock lock(&meta_mu_, LockClass::kTreeMeta);
         root_region_valid_ = false;
       }
       break;
@@ -732,9 +738,10 @@ Status RTree::Delete(const Rect& rect, TupleId tid) {
     if (root_node.branches.size() == 1 && root_node.spanning.empty()) {
       const storage::PageId child = root_node.branches[0].child;
       const Rect child_rect = root_node.branches[0].rect;
-      NodeLatchTable::Guard child_guard = latch_table_.Acquire(child.block);
+      NodeLatchTable::Guard child_guard =
+          latch_table_.Acquire(child.block, LatchOrigin::Child(root.block));
       {
-        std::lock_guard<std::mutex> lock(meta_mu_);
+        TrackedMutexLock lock(&meta_mu_, LockClass::kTreeMeta);
         root_ = child;
         --root_level_;
         root_region_ = child_rect;
@@ -793,8 +800,8 @@ Result<bool> RTree::DeleteRecursive(
     // Latch-couple downward: the child is latched before we recurse and
     // stays latched through the condense/Free below, so no other writer
     // can touch it while this frame rewrites the parent.
-    NodeLatchTable::Guard child_guard =
-        latch_table_.Acquire(node.branches[i].child.block);
+    NodeLatchTable::Guard child_guard = latch_table_.Acquire(
+        node.branches[i].child.block, LatchOrigin::Child(node_id.block));
     Rect child_region = node.branches[i].rect;
     bool child_underflow = false;
     SEGIDX_ASSIGN_OR_RETURN(

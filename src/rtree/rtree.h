@@ -44,7 +44,6 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <ostream>
 #include <unordered_map>
@@ -52,7 +51,9 @@
 #include <vector>
 
 #include "common/geometry.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "rtree/latch.h"
 #include "rtree/node.h"
@@ -277,6 +278,15 @@ class RTree {
   const TreeOptions& options() const { return options_; }
   const TreeStats& stats() const { return stats_; }
   void ResetStats() { stats_ = TreeStats(); }
+  // Contention counters for the phase gate and the node latch table
+  // (surfaced by `segidx stats` and bench-mixed). Like TreeStats, a
+  // consistent snapshot requires quiescence.
+  LatchStats latch_stats() const {
+    LatchStats out;
+    gate_.AccumulateStats(&out);
+    latch_table_.AccumulateStats(&out);
+    return out;
+  }
   storage::Pager* pager() { return pager_; }
   // Node-page checksum algorithm for this tree's file format (CRC32C for
   // v2 files, folded FNV-1a for legacy v1 files).
@@ -413,7 +423,7 @@ class RTree {
   // Guards the root fields (root_, root_level_, root_region_,
   // root_region_valid_) against concurrent writers. Never held while
   // blocking on a node latch (see docs/CONCURRENCY.md, root protocol).
-  std::mutex meta_mu_;
+  common::Mutex meta_mu_;
 
   TreeOptions options_;
   TreeStats stats_;
@@ -498,7 +508,10 @@ class RTree {
 
   // Root fields: mutated only under meta_mu_ *and* the root node's latch
   // (write phase). Readers access them without meta_mu_ — the phase gate
-  // keeps writers out of the read phase entirely.
+  // keeps writers out of the read phase entirely. Deliberately NOT
+  // GUARDED_BY(meta_mu_): the protection is the phase, which the
+  // compile-time analysis cannot model (the lockdep rules cover the
+  // writer-side ordering instead).
   storage::PageId root_;
   int root_level_ = 0;
   Rect root_region_;
@@ -507,10 +520,11 @@ class RTree {
   uint64_t record_count_ = 0;
 
   // Modification counts per leaf block (Section 4's "least frequently
-  // modified" statistic). Rebuilt lazily after Open(). Guarded by leaf_mu_
-  // (concurrent writers update it outside any common node latch).
-  std::mutex leaf_mu_;
-  std::unordered_map<uint32_t, uint64_t> leaf_mod_counts_;
+  // modified" statistic). Rebuilt lazily after Open(). Concurrent writers
+  // update it outside any common node latch.
+  common::Mutex leaf_mu_;
+  std::unordered_map<uint32_t, uint64_t> leaf_mod_counts_
+      GUARDED_BY(leaf_mu_);
 
   // Exclusive-phase operations only; see CountNodeAccess().
   uint64_t op_node_accesses_ = 0;

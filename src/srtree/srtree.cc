@@ -177,7 +177,8 @@ Status SRTree::ProcessDemotions(InsertContext* ctx) {
   // decision below is computed from the node's current contents, which is
   // correct in every one of those cases.
   for (const storage::PageId& id : nodes) {
-    NodeLatchTable::Guard guard = latch_table_.Acquire(id.block);
+    NodeLatchTable::Guard guard = latch_table_.Acquire(
+        id.block, NodeLatchTable::LatchOrigin::Standalone());
     SEGIDX_ASSIGN_OR_RETURN(Node node, ReadNode(id, &ctx->node_accesses));
     if (node.is_leaf() || node.spanning.empty()) continue;
     bool changed = false;

@@ -13,8 +13,21 @@ namespace segidx::storage {
 
 namespace {
 
+// strerror_r comes in two flavors (glibc returns char*, POSIX returns
+// int); overload on the result so both build without feature-test macros.
+// std::strerror itself is not thread-safe, and this layer is called from
+// concurrent readers.
+inline const char* StrerrorResult(int rc, const char* buf) {
+  return rc == 0 ? buf : "unknown error";
+}
+inline const char* StrerrorResult(const char* msg, const char* /*buf*/) {
+  return msg;
+}
+
 Status ErrnoToStatus(const char* op, const std::string& detail) {
-  return IoError(std::string(op) + " failed: " + std::strerror(errno) +
+  char buf[128] = "unknown error";
+  const char* msg = StrerrorResult(strerror_r(errno, buf, sizeof(buf)), buf);
+  return IoError(std::string(op) + " failed: " + msg +
                  (detail.empty() ? "" : " (" + detail + ")"));
 }
 

@@ -14,6 +14,9 @@ namespace segidx::storage {
 
 namespace {
 
+using check::LockClass;
+using check::TrackedMutexLock;
+
 constexpr uint64_t kMagicV1 = 0x5345474944583031ULL;  // "SEGIDX01"
 constexpr uint64_t kMagicV2 = 0x5345474944583032ULL;  // "SEGIDX02"
 constexpr uint32_t kFormatVersionV2 = 2;
@@ -151,18 +154,23 @@ Result<std::unique_ptr<Pager>> Pager::Create(
   }
   std::unique_ptr<Pager> pager(new Pager(std::move(device), options));
   const uint8_t max_sc = options.max_size_class;
-  pager->free_heads_.assign(max_sc + 1, kInvalidBlock);
-  pager->pending_free_.assign(max_sc + 1, {});
-  pager->run_scrap_.assign(max_sc + 1, {});
-  pager->epoch_ = 1;
-  pager->active_slot_ = 0;
-  pager->next_block_ = 2;
-
   SlotState slot;
+  {
+    // Single-threaded (the pager is not published yet); locked so the
+    // compile-time analysis sees the guarded allocator fields initialized
+    // under their capability.
+    common::MutexLock lock(&pager->alloc_mu_);
+    pager->free_heads_.assign(max_sc + 1, kInvalidBlock);
+    pager->pending_free_.assign(max_sc + 1, {});
+    pager->run_scrap_.assign(max_sc + 1, {});
+    pager->epoch_ = 1;
+    pager->active_slot_ = 0;
+    pager->next_block_ = 2;
+    slot.free_heads = pager->free_heads_;
+  }
   slot.epoch = 1;
   slot.next_block = 2;
   slot.max_size_class = max_sc;
-  slot.free_heads = pager->free_heads_;
   const std::vector<uint8_t> buf = pager->SerializeSlot(slot);
   SEGIDX_RETURN_IF_ERROR(pager->device_->Write(0, buf.data(), buf.size()));
   // Zero the second slot so stale bytes from a recycled device can never
@@ -393,6 +401,9 @@ Status Pager::ReplayJournal(const SlotState& slot, std::vector<PageId>* scraps,
 
 void Pager::AdoptSlot(int index, const SlotState& slot,
                       std::vector<PageId> scraps) {
+  // Runs during Open() before the pager is shared; locked for the
+  // compile-time analysis, same as in Create().
+  common::MutexLock lock(&alloc_mu_);
   format_version_ = kFormatVersionV2;
   options_.max_size_class = slot.max_size_class;
   epoch_ = slot.epoch;
@@ -426,6 +437,7 @@ Status Pager::OpenLegacyV1(const std::vector<uint8_t>& block0) {
     return InvalidArgumentError(
         "base_block_size mismatch between file and options");
   }
+  common::MutexLock lock(&alloc_mu_);  // Open-time only; for the analysis.
   format_version_ = 1;
   options_.max_size_class = buf[16];
   next_block_ = DecodeU32(buf + 24);
@@ -527,7 +539,7 @@ std::vector<PageId> Pager::ChopRun(uint32_t start, uint32_t blocks) const {
 PageHandle Pager::InstallFrame(uint32_t block, uint8_t size_class,
                                std::vector<uint8_t> bytes, bool dirty) {
   Partition& part = PartitionFor(block);
-  std::lock_guard<std::mutex> lock(part.mu);
+  TrackedMutexLock lock(&part.mu, LockClass::kPagerPartition);
   Frame& frame = part.frames[block];
   SEGIDX_CHECK_EQ(frame.pin_count, 0);
   SEGIDX_CHECK(!frame.in_lru);
@@ -551,7 +563,7 @@ Result<PageHandle> Pager::Allocate(uint8_t size_class) {
   SEGIDX_RETURN_IF_ERROR(CheckMutable());
   uint32_t block;
   {
-    std::lock_guard<std::mutex> lock(alloc_mu_);
+    TrackedMutexLock lock(&alloc_mu_, LockClass::kPagerAlloc);
     if (!pending_free_[size_class].empty()) {
       // Extents freed this epoch are reused first, most recent first.
       block = pending_free_[size_class].back();
@@ -586,7 +598,7 @@ Result<PageHandle> Pager::Fetch(PageId id) {
   // The relaxed count check keeps the common (empty-quarantine) path free
   // of an extra lock.
   if (quarantine_count_.load(std::memory_order_acquire) != 0) {
-    std::lock_guard<std::mutex> qlock(quarantine_mu_);
+    TrackedMutexLock qlock(&quarantine_mu_, LockClass::kPagerQuarantine);
     auto qit = quarantine_.find(id.block);
     if (qit != quarantine_.end()) {
       BumpStat(stats_.quarantine_hits);
@@ -596,7 +608,7 @@ Result<PageHandle> Pager::Fetch(PageId id) {
   }
   Partition& part = PartitionFor(id.block);
   {
-    std::lock_guard<std::mutex> lock(part.mu);
+    TrackedMutexLock lock(&part.mu, LockClass::kPagerPartition);
     auto it = part.frames.find(id.block);
     if (it != part.frames.end()) {
       BumpStat(stats_.cache_hits);
@@ -617,7 +629,7 @@ Result<PageHandle> Pager::Fetch(PageId id) {
     BumpStat(stats_.physical_reads);
     uint32_t src_block = id.block;
     {
-      std::lock_guard<std::mutex> alloc_lock(alloc_mu_);
+      TrackedMutexLock alloc_lock(&alloc_mu_, LockClass::kPagerAlloc);
       auto rit = redirects_.find(id.block);
       if (rit != redirects_.end()) src_block = rit->second.block;
     }
@@ -644,7 +656,7 @@ Status Pager::Free(PageId id) {
   SEGIDX_RETURN_IF_ERROR(CheckMutable());
   {
     Partition& part = PartitionFor(id.block);
-    std::lock_guard<std::mutex> lock(part.mu);
+    TrackedMutexLock lock(&part.mu, LockClass::kPagerPartition);
     auto it = part.frames.find(id.block);
     if (it != part.frames.end()) {
       Frame& frame = it->second;
@@ -659,7 +671,7 @@ Status Pager::Free(PageId id) {
   // Deferred: the extent joins the durable free list at the next
   // checkpoint. Writing its link now would clobber a block the previous
   // checkpoint may still reference.
-  std::lock_guard<std::mutex> lock(alloc_mu_);
+  TrackedMutexLock lock(&alloc_mu_, LockClass::kPagerAlloc);
   auto rit = redirects_.find(id.block);
   if (rit != redirects_.end()) {
     run_scrap_[rit->second.size_class].push_back(rit->second.block);
@@ -670,7 +682,7 @@ Status Pager::Free(PageId id) {
   // A freed extent no longer holds the damaged page; lift its quarantine
   // so the recycled extent is fetchable again.
   if (quarantine_count_.load(std::memory_order_relaxed) != 0) {
-    std::lock_guard<std::mutex> qlock(quarantine_mu_);
+    TrackedMutexLock qlock(&quarantine_mu_, LockClass::kPagerQuarantine);
     if (quarantine_.erase(id.block) != 0) {
       quarantine_count_.store(quarantine_.size(),
                               std::memory_order_release);
@@ -680,7 +692,7 @@ Status Pager::Free(PageId id) {
 }
 
 bool Pager::QuarantinePage(PageId id, const std::string& reason) {
-  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  TrackedMutexLock lock(&quarantine_mu_, LockClass::kPagerQuarantine);
   if (quarantine_.count(id.block) != 0) return true;
   if (quarantine_.size() >= kMaxQuarantinedPages) return false;
   quarantine_.emplace(id.block, QuarantinedPage{id, reason});
@@ -691,12 +703,12 @@ bool Pager::QuarantinePage(PageId id, const std::string& reason) {
 
 bool Pager::IsQuarantined(uint32_t block) const {
   if (quarantine_count_.load(std::memory_order_acquire) == 0) return false;
-  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  TrackedMutexLock lock(&quarantine_mu_, LockClass::kPagerQuarantine);
   return quarantine_.count(block) != 0;
 }
 
 std::vector<QuarantinedPage> Pager::QuarantinedPages() const {
-  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  TrackedMutexLock lock(&quarantine_mu_, LockClass::kPagerQuarantine);
   std::vector<QuarantinedPage> out;
   out.reserve(quarantine_.size());
   for (const auto& [block, entry] : quarantine_) out.push_back(entry);
@@ -708,7 +720,7 @@ std::vector<QuarantinedPage> Pager::QuarantinedPages() const {
 }
 
 void Pager::ClearQuarantine() {
-  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  TrackedMutexLock lock(&quarantine_mu_, LockClass::kPagerQuarantine);
   quarantine_.clear();
   quarantine_count_.store(0, std::memory_order_release);
 }
@@ -801,7 +813,7 @@ Status Pager::Checkpoint() {
   std::unordered_set<uint32_t> dirty_set;
   for (uint32_t p = 0; p < num_partitions_; ++p) {
     Partition& part = partitions_[p];
-    std::lock_guard<std::mutex> lock(part.mu);
+    TrackedMutexLock lock(&part.mu, LockClass::kPagerPartition);
     for (auto& [block, frame] : part.frames) {
       if (!frame.dirty) continue;
       page_entries.push_back({block, frame.bytes});
@@ -821,7 +833,7 @@ Status Pager::Checkpoint() {
   SlotState slot;
   int slot_index;
   {
-    std::lock_guard<std::mutex> lock(alloc_mu_);
+    TrackedMutexLock lock(&alloc_mu_, LockClass::kPagerAlloc);
     for (const auto& [home, spill] : redirects_) {
       if (dirty_set.count(home) == 0) {
         // The spill extent holds the only current copy; journal it home.
@@ -945,7 +957,7 @@ Status Pager::Checkpoint() {
 
   // Commit the new durable state in memory.
   {
-    std::lock_guard<std::mutex> lock(alloc_mu_);
+    TrackedMutexLock lock(&alloc_mu_, LockClass::kPagerAlloc);
     epoch_ = slot.epoch;
     active_slot_ = slot_index;
     free_heads_ = slot.free_heads;
@@ -986,7 +998,7 @@ Status Pager::Checkpoint() {
   }
   for (uint32_t block : snapshotted) {
     Partition& part = PartitionFor(block);
-    std::lock_guard<std::mutex> lock(part.mu);
+    TrackedMutexLock lock(&part.mu, LockClass::kPagerPartition);
     auto it = part.frames.find(block);
     if (it != part.frames.end()) it->second.dirty = false;
   }
@@ -995,7 +1007,7 @@ Status Pager::Checkpoint() {
     // while this checkpoint ran (concurrent evictions) hold the same bytes
     // we just applied, so dropping them is safe too; their extents rejoin
     // the allocator as scrap.
-    std::lock_guard<std::mutex> lock(alloc_mu_);
+    TrackedMutexLock lock(&alloc_mu_, LockClass::kPagerAlloc);
     for (const auto& [home, spill] : redirects_) {
       if (scrapped_blocks.count(spill.block) == 0) {
         run_scrap_[spill.size_class].push_back(spill.block);
@@ -1021,49 +1033,62 @@ Status Pager::SetUserMeta(const uint8_t* data, size_t n) {
     return InvalidArgumentError("user metadata too large");
   }
   SEGIDX_RETURN_IF_ERROR(CheckMutable());
-  std::lock_guard<std::mutex> lock(alloc_mu_);
+  TrackedMutexLock lock(&alloc_mu_, LockClass::kPagerAlloc);
   user_meta_.assign(data, data + n);
   return Status::OK();
 }
 
+// Manual Lock/Unlock (not a scoped guard): the sequencer drops commit_mu_
+// around commit_fn — the one rule the class comment promises — and the
+// lockdep hooks bracket each held region so the validator sees the same
+// thing.
 Status Pager::GroupCommit(const std::function<Status()>& commit_fn) {
-  std::unique_lock<std::mutex> lock(commit_mu_);
+  check::LockdepOnLock(LockClass::kPagerCommit, &commit_mu_);
+  commit_mu_.Lock();
   BumpStat(stats_.commit_requests);
   const uint64_t my_seq = ++commit_seq_;
   for (;;) {
     if (durable_seq_ >= my_seq) {
       // A batch that started after this request arrived has completed; its
       // commit covered every mutation visible at our call.
-      return last_commit_status_;
+      const Status st = last_commit_status_;
+      commit_mu_.Unlock();
+      check::LockdepOnUnlock(LockClass::kPagerCommit, &commit_mu_);
+      return st;
     }
     if (!committing_) break;  // Become the next leader.
-    commit_cv_.wait(lock);
+    commit_cv_.Wait(&commit_mu_);
   }
   committing_ = true;
   if (options_.group_commit_window_us > 0) {
     // Linger for the full window so near-simultaneous requesters join this
-    // batch instead of forcing their own fsync round. The false predicate
-    // makes wait_until hold until the deadline while still releasing
-    // commit_mu_, which joiners need to enqueue.
+    // batch instead of forcing their own fsync round. Waiting (rather than
+    // sleeping unlocked) releases commit_mu_, which joiners need to
+    // enqueue; spurious wakeups before the deadline just wait again.
     const auto deadline =
         std::chrono::steady_clock::now() +
         std::chrono::microseconds(options_.group_commit_window_us);
-    commit_cv_.wait_until(lock, deadline, [] { return false; });
+    while (commit_cv_.WaitUntil(&commit_mu_, deadline)) {
+    }
   }
   const uint64_t batch_end = commit_seq_;  // Requests this batch covers.
-  lock.unlock();
+  commit_mu_.Unlock();
+  check::LockdepOnUnlock(LockClass::kPagerCommit, &commit_mu_);
   const Status st = commit_fn();
-  lock.lock();
+  check::LockdepOnLock(LockClass::kPagerCommit, &commit_mu_);
+  commit_mu_.Lock();
   BumpStat(stats_.commit_batches);
   durable_seq_ = batch_end;
   last_commit_status_ = st;
   committing_ = false;
-  commit_cv_.notify_all();
+  commit_mu_.Unlock();
+  check::LockdepOnUnlock(LockClass::kPagerCommit, &commit_mu_);
+  commit_cv_.NotifyAll();
   return st;
 }
 
 Result<std::vector<PageId>> Pager::FreeExtents() const {
-  std::lock_guard<std::mutex> lock(alloc_mu_);
+  TrackedMutexLock lock(&alloc_mu_, LockClass::kPagerAlloc);
   std::vector<PageId> out;
   const uint32_t first_data = format_version_ == 1 ? 1 : 2;
   for (uint8_t sc = 0; sc < free_heads_.size(); ++sc) {
@@ -1128,7 +1153,7 @@ size_t Pager::pinned_frames() const {
   size_t n = 0;
   for (uint32_t p = 0; p < num_partitions_; ++p) {
     const Partition& part = partitions_[p];
-    std::lock_guard<std::mutex> lock(part.mu);
+    TrackedMutexLock lock(&part.mu, LockClass::kPagerPartition);
     for (const auto& [block, frame] : part.frames) {
       if (frame.pin_count > 0) ++n;
     }
@@ -1140,7 +1165,7 @@ size_t Pager::cached_frames() const {
   size_t n = 0;
   for (uint32_t p = 0; p < num_partitions_; ++p) {
     const Partition& part = partitions_[p];
-    std::lock_guard<std::mutex> lock(part.mu);
+    TrackedMutexLock lock(&part.mu, LockClass::kPagerPartition);
     n += part.frames.size();
   }
   return n;
@@ -1150,7 +1175,7 @@ size_t Pager::cached_bytes() const {
   size_t n = 0;
   for (uint32_t p = 0; p < num_partitions_; ++p) {
     const Partition& part = partitions_[p];
-    std::lock_guard<std::mutex> lock(part.mu);
+    TrackedMutexLock lock(&part.mu, LockClass::kPagerPartition);
     n += part.cached_bytes;
   }
   return n;
@@ -1159,7 +1184,7 @@ size_t Pager::cached_bytes() const {
 Status Pager::SpillFrame(uint32_t home, const Frame& frame) {
   uint32_t spill_block;
   {
-    std::lock_guard<std::mutex> lock(alloc_mu_);
+    TrackedMutexLock lock(&alloc_mu_, LockClass::kPagerAlloc);
     auto it = redirects_.find(home);
     if (it != redirects_.end()) {
       // Re-evicting a page that already has a spill extent: overwrite it
@@ -1218,7 +1243,7 @@ void Pager::EnforceCapacityLocked(Partition& part) {
 
 void Pager::Unpin(uint32_t block) {
   Partition& part = PartitionFor(block);
-  std::lock_guard<std::mutex> lock(part.mu);
+  TrackedMutexLock lock(&part.mu, LockClass::kPagerPartition);
   auto it = part.frames.find(block);
   SEGIDX_CHECK(it != part.frames.end());
   Frame& frame = it->second;
@@ -1235,7 +1260,7 @@ void Pager::Unpin(uint32_t block) {
 
 void Pager::MarkFrameDirty(uint32_t block) {
   Partition& part = PartitionFor(block);
-  std::lock_guard<std::mutex> lock(part.mu);
+  TrackedMutexLock lock(&part.mu, LockClass::kPagerPartition);
   auto it = part.frames.find(block);
   SEGIDX_CHECK(it != part.frames.end());
   it->second.dirty = true;

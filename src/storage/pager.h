@@ -77,17 +77,18 @@
 
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "check/lock_order.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/block_device.h"
 
 namespace segidx::storage {
@@ -414,10 +415,10 @@ class Pager {
   // most recent), and byte budget. Frames live in the node-based map, so
   // pointers handed out while pinned stay valid across rehashes.
   struct Partition {
-    mutable std::mutex mu;
-    std::unordered_map<uint32_t, Frame> frames;
-    std::list<uint32_t> lru;
-    size_t cached_bytes = 0;
+    mutable common::Mutex mu;
+    std::unordered_map<uint32_t, Frame> frames GUARDED_BY(mu);
+    std::list<uint32_t> lru GUARDED_BY(mu);
+    size_t cached_bytes GUARDED_BY(mu) = 0;
   };
 
   // Where an evicted dirty page's bytes currently live.
@@ -488,9 +489,11 @@ class Pager {
   // Evicts unpinned LRU frames until the partition is within its budget.
   // Dirty victims spill (v2); frames that cannot be persisted (degraded
   // mode) are skipped. Caller holds part.mu.
-  void EnforceCapacityLocked(Partition& part);
+  void EnforceCapacityLocked(Partition& part) REQUIRES(part.mu);
   // Writes `frame`'s bytes to its spill extent (allocating one on first
-  // spill). Caller holds part.mu; takes alloc_mu_ internally.
+  // spill). Caller holds part.mu (inexpressible to the compile-time
+  // analysis — `part` is not a parameter); takes alloc_mu_ internally,
+  // which is the one legal partition-then-alloc nesting.
   Status SpillFrame(uint32_t home, const Frame& frame);
   void Unpin(uint32_t block);
   void MarkFrameDirty(uint32_t block);
@@ -505,9 +508,10 @@ class Pager {
 
   // Quarantined extents keyed by first block. quarantine_count_ mirrors
   // the map size so the Fetch fast path can skip the lock when empty.
-  mutable std::mutex quarantine_mu_;
+  mutable common::Mutex quarantine_mu_;
   std::atomic<size_t> quarantine_count_{0};
-  std::unordered_map<uint32_t, QuarantinedPage> quarantine_;
+  std::unordered_map<uint32_t, QuarantinedPage> quarantine_
+      GUARDED_BY(quarantine_mu_);
 
   uint32_t format_version_ = 2;
   std::atomic<bool> degraded_{false};
@@ -519,23 +523,27 @@ class Pager {
   // runs and absorbed spill extents (reused only after the device lists);
   // redirects_ maps home blocks of spilled dirty pages to their current
   // spill extents.
-  mutable std::mutex alloc_mu_;
+  // epoch_, next_block_ and user_meta_ are read by lock-free const
+  // accessors whose callers have external quiescence (documented above),
+  // so they stay unannotated; the remaining allocator state is
+  // GUARDED_BY(alloc_mu_).
+  mutable common::Mutex alloc_mu_;
   uint64_t epoch_ = 0;
-  int active_slot_ = 0;
+  int active_slot_ GUARDED_BY(alloc_mu_) = 0;
   uint32_t next_block_ = 2;  // Blocks 0 and 1 are the superblock slots.
   // Journal runs of the newest durable checkpoint and of the one before it.
   // Both are off limits to the allocator: the active run is what Open()
   // replays after a crash, and the fallback run keeps the *other* slot
   // replayable should the newest slot be destroyed. A retired run rejoins
   // the free lists two checkpoints after it was written.
-  uint32_t active_log_start_ = 0;
-  uint32_t active_log_blocks_ = 0;
-  uint32_t fallback_log_start_ = 0;
-  uint32_t fallback_log_blocks_ = 0;
-  std::vector<uint32_t> free_heads_;
-  std::vector<std::vector<uint32_t>> pending_free_;
-  std::vector<std::vector<uint32_t>> run_scrap_;
-  std::unordered_map<uint32_t, SpillSlot> redirects_;
+  uint32_t active_log_start_ GUARDED_BY(alloc_mu_) = 0;
+  uint32_t active_log_blocks_ GUARDED_BY(alloc_mu_) = 0;
+  uint32_t fallback_log_start_ GUARDED_BY(alloc_mu_) = 0;
+  uint32_t fallback_log_blocks_ GUARDED_BY(alloc_mu_) = 0;
+  std::vector<uint32_t> free_heads_ GUARDED_BY(alloc_mu_);
+  std::vector<std::vector<uint32_t>> pending_free_ GUARDED_BY(alloc_mu_);
+  std::vector<std::vector<uint32_t>> run_scrap_ GUARDED_BY(alloc_mu_);
+  std::unordered_map<uint32_t, SpillSlot> redirects_ GUARDED_BY(alloc_mu_);
   std::vector<uint8_t> user_meta_;
 
   // Group-commit sequencer (GroupCommit). commit_requests_ numbers every
@@ -543,12 +551,16 @@ class Pager {
   // completed batch. A requester is done once durable_requests_ passes its
   // own number; the first waiter to find no batch in flight becomes the
   // leader. commit_mu_ is never held while the leader runs commit_fn.
-  std::mutex commit_mu_;
-  std::condition_variable commit_cv_;
-  uint64_t commit_seq_ = 0;          // Requests issued.
-  uint64_t durable_seq_ = 0;         // Requests covered by finished batches.
-  bool committing_ = false;          // A leader is running commit_fn.
-  Status last_commit_status_;        // Result of the newest finished batch.
+  common::Mutex commit_mu_;
+  common::CondVar commit_cv_;
+  // Requests issued.
+  uint64_t commit_seq_ GUARDED_BY(commit_mu_) = 0;
+  // Requests covered by finished batches.
+  uint64_t durable_seq_ GUARDED_BY(commit_mu_) = 0;
+  // A leader is running commit_fn.
+  bool committing_ GUARDED_BY(commit_mu_) = false;
+  // Result of the newest finished batch.
+  Status last_commit_status_ GUARDED_BY(commit_mu_);
 };
 
 }  // namespace segidx::storage

@@ -106,21 +106,28 @@ TEST(ConcurrentPhaseGateTest, SharedModeAdmitsPeersAsABatch) {
 }
 
 TEST(ConcurrentNodeLatchTest, SameBlockExcludesDifferentBlocksDoNot) {
+  // Node latches are only legal inside a write (or exclusive) phase; the
+  // lockdep build enforces that, so the test holds one like real callers.
+  PhaseGate gate;
   NodeLatchTable table;
   uint64_t counter = 0;  // Protected by the block-7 latch only.
   std::vector<std::thread> threads;
   for (int i = 0; i < 4; ++i) {
     threads.emplace_back([&] {
+      PhaseGate::Scope scope(&gate, PhaseGate::Mode::kWrite);
       for (int r = 0; r < 2000; ++r) {
-        NodeLatchTable::Guard guard = table.Acquire(7);
+        NodeLatchTable::Guard guard =
+            table.Acquire(7, NodeLatchTable::LatchOrigin::Standalone());
         ++counter;  // TSan would flag this if the latch failed to exclude.
       }
     });
   }
   // A thread on a different block must not deadlock against the others.
   threads.emplace_back([&] {
+    PhaseGate::Scope scope(&gate, PhaseGate::Mode::kWrite);
     for (int r = 0; r < 2000; ++r) {
-      NodeLatchTable::Guard guard = table.Acquire(8);
+      NodeLatchTable::Guard guard =
+          table.Acquire(8, NodeLatchTable::LatchOrigin::Standalone());
     }
   });
   for (std::thread& t : threads) t.join();

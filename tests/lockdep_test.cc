@@ -1,0 +1,221 @@
+// Death tests for the runtime lock-order validator (src/check/lock_order).
+//
+// Each test provokes exactly one contract violation and expects the
+// validator to abort with its diagnostic. In a build without
+// SEGIDX_LOCKDEP the hooks are no-op inlines, so every test is skipped —
+// which doubles as the check that the annotations and hooks compile away
+// cleanly (this file builds in the plain GCC tier-1 configuration too).
+
+#include <gtest/gtest.h>
+
+#include "check/lock_order.h"
+#include "common/mutex.h"
+#include "rtree/latch.h"
+
+namespace segidx {
+namespace {
+
+using check::LockClass;
+using check::TrackedMutexLock;
+using rtree::NodeLatchTable;
+using rtree::PhaseGate;
+using LatchOrigin = NodeLatchTable::LatchOrigin;
+
+#if defined(SEGIDX_LOCKDEP)
+
+class LockdepDeathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Death tests fork; reset the learned acquired-before graph in both
+    // parent and child so tests cannot poison one another's edges.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    check::LockdepResetForTesting();
+  }
+};
+
+TEST_F(LockdepDeathTest, NodeLatchOutsidePhaseAborts) {
+  NodeLatchTable table;
+  EXPECT_DEATH(
+      {
+        check::LockdepResetForTesting();
+        NodeLatchTable::Guard g = table.Acquire(7, LatchOrigin::Standalone());
+      },
+      "outside a write/exclusive phase");
+}
+
+TEST_F(LockdepDeathTest, NodeLatchInReadPhaseAborts) {
+  PhaseGate gate;
+  NodeLatchTable table;
+  EXPECT_DEATH(
+      {
+        check::LockdepResetForTesting();
+        PhaseGate::Scope scope(&gate, PhaseGate::Mode::kRead);
+        NodeLatchTable::Guard g = table.Acquire(7, LatchOrigin::Standalone());
+      },
+      "outside a write/exclusive phase");
+}
+
+TEST_F(LockdepDeathTest, CrabbingChildWithoutParentAborts) {
+  PhaseGate gate;
+  NodeLatchTable table;
+  EXPECT_DEATH(
+      {
+        check::LockdepResetForTesting();
+        PhaseGate::Scope scope(&gate, PhaseGate::Mode::kWrite);
+        // Claims to crab down from node 3, but the latch on 3 is not held.
+        NodeLatchTable::Guard g = table.Acquire(5, LatchOrigin::Child(3));
+      },
+      "crabbing violation");
+}
+
+TEST_F(LockdepDeathTest, StandaloneWhileLatchesHeldAborts) {
+  PhaseGate gate;
+  NodeLatchTable table;
+  EXPECT_DEATH(
+      {
+        check::LockdepResetForTesting();
+        PhaseGate::Scope scope(&gate, PhaseGate::Mode::kWrite);
+        NodeLatchTable::Guard root =
+            table.Acquire(1, LatchOrigin::Standalone());
+        // A second "root protocol" acquisition while a latch is held is a
+        // descent that forgot to crab.
+        NodeLatchTable::Guard other =
+            table.Acquire(9, LatchOrigin::Standalone());
+      },
+      "standalone latch acquisition");
+}
+
+TEST_F(LockdepDeathTest, GateReentryAborts) {
+  PhaseGate gate;
+  EXPECT_DEATH(
+      {
+        check::LockdepResetForTesting();
+        PhaseGate::Scope outer(&gate, PhaseGate::Mode::kRead);
+        PhaseGate::Scope inner(&gate, PhaseGate::Mode::kRead);
+      },
+      "re-entering a PhaseGate");
+}
+
+TEST_F(LockdepDeathTest, GateEntryWhileHoldingNodeLatchAborts) {
+  PhaseGate gate;
+  PhaseGate other_gate;
+  NodeLatchTable table;
+  EXPECT_DEATH(
+      {
+        check::LockdepResetForTesting();
+        PhaseGate::Scope scope(&gate, PhaseGate::Mode::kWrite);
+        NodeLatchTable::Guard g = table.Acquire(4, LatchOrigin::Standalone());
+        // The gate sits above all node latches; entering one (any one)
+        // while a latch is held inverts the hierarchy.
+        PhaseGate::Scope nested(&other_gate, PhaseGate::Mode::kWrite);
+      },
+      "while holding a node latch");
+}
+
+TEST_F(LockdepDeathTest, TwoPagerPartitionLatchesAbort) {
+  common::Mutex shard_a;
+  common::Mutex shard_b;
+  EXPECT_DEATH(
+      {
+        check::LockdepResetForTesting();
+        TrackedMutexLock first(&shard_a, LockClass::kPagerPartition);
+        TrackedMutexLock second(&shard_b, LockClass::kPagerPartition);
+      },
+      "two pager partition latches");
+}
+
+TEST_F(LockdepDeathTest, BlockingUnderMapMutexAborts) {
+  common::Mutex map_mu;
+  common::Mutex other;
+  EXPECT_DEATH(
+      {
+        check::LockdepResetForTesting();
+        TrackedMutexLock map(&map_mu, LockClass::kLatchMap);
+        TrackedMutexLock blocked(&other, LockClass::kPagerAlloc);
+      },
+      "map_mu_ is a leaf lock");
+}
+
+TEST_F(LockdepDeathTest, LockOrderInversionAbortsWithBothStacks) {
+  common::Mutex alloc_mu;
+  common::Mutex quarantine_mu;
+  EXPECT_DEATH(
+      {
+        check::LockdepResetForTesting();
+        {
+          // Teach the validator alloc -> quarantine (the real Pager::Free
+          // nesting).
+          TrackedMutexLock a(&alloc_mu, LockClass::kPagerAlloc);
+          TrackedMutexLock q(&quarantine_mu, LockClass::kPagerQuarantine);
+        }
+        // The reverse order closes a cycle.
+        TrackedMutexLock q(&quarantine_mu, LockClass::kPagerQuarantine);
+        TrackedMutexLock a(&alloc_mu, LockClass::kPagerAlloc);
+      },
+      "lock-order cycle");
+}
+
+TEST_F(LockdepDeathTest, RecursiveMutexAcquisitionAborts) {
+  common::Mutex mu;
+  EXPECT_DEATH(
+      {
+        check::LockdepResetForTesting();
+        TrackedMutexLock outer(&mu, LockClass::kTreeMeta);
+        TrackedMutexLock inner(&mu, LockClass::kTreeMeta);
+      },
+      "recursive acquisition");
+}
+
+// The positive case: the contract's legal sequences run clean under the
+// validator (no abort). Mirrors a real descent — root protocol, then
+// hand-over-hand crabbing, releasing the parent after latching the child.
+TEST_F(LockdepDeathTest, LegalCrabbingDescentRunsClean) {
+  PhaseGate gate;
+  NodeLatchTable table;
+  {
+    PhaseGate::Scope scope(&gate, PhaseGate::Mode::kWrite);
+    NodeLatchTable::Guard root = table.Acquire(1, LatchOrigin::Standalone());
+    NodeLatchTable::Guard child = table.Acquire(2, LatchOrigin::Child(1));
+    root = NodeLatchTable::Guard();  // Crab: drop the parent.
+    NodeLatchTable::Guard grandchild =
+        table.Acquire(3, LatchOrigin::Child(2));
+  }
+  {
+    // Exclusive maintenance walks (CoalesceSparseLeaves) may latch too.
+    PhaseGate::Scope scope(&gate, PhaseGate::Mode::kExclusive);
+    NodeLatchTable::Guard g = table.Acquire(5, LatchOrigin::Standalone());
+  }
+  SUCCEED();
+}
+
+TEST_F(LockdepDeathTest, LegalPartitionThenAllocNestingRunsClean) {
+  common::Mutex shard;
+  common::Mutex alloc_mu;
+  {
+    // Pager::SpillFrame nests part.mu -> alloc_mu_; one direction only.
+    TrackedMutexLock part(&shard, LockClass::kPagerPartition);
+    TrackedMutexLock alloc(&alloc_mu, LockClass::kPagerAlloc);
+  }
+  SUCCEED();
+}
+
+#else  // !SEGIDX_LOCKDEP
+
+TEST(LockdepDisabledTest, HooksCompileToNoOps) {
+  // With the validator compiled out, violations are not detected — this
+  // exercises the no-op inline hooks (and, on GCC, the no-op annotation
+  // macros) so the plain build proves they cost nothing and break nothing.
+  check::LockdepOnLock(LockClass::kTreeMeta, nullptr);
+  check::LockdepOnUnlock(LockClass::kTreeMeta, nullptr);
+  common::Mutex mu;
+  {
+    TrackedMutexLock lock(&mu, LockClass::kTreeMeta);
+  }
+  GTEST_SKIP() << "rebuild with -DSEGIDX_LOCKDEP=ON to run the validator "
+                  "death tests";
+}
+
+#endif  // SEGIDX_LOCKDEP
+
+}  // namespace
+}  // namespace segidx

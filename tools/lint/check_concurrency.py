@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Concurrency lint for the segment-index source tree.
+
+Machine-checks the parts of docs/CONCURRENCY.md that neither Clang's
+thread-safety analysis nor the runtime lockdep validator can see, because
+they are rules about *which code is allowed to say what* rather than about
+runtime ordering:
+
+  1. bare-gate:       PhaseGate::Enter/Exit called directly. All phase
+                      membership goes through PhaseGate::Scope (RAII), so a
+                      throw or early return can never strand a phase.
+  2. latch-outside-tree: NodeLatchTable::Acquire called outside the tree
+                      layers (src/rtree/, src/srtree/). Node latches are an
+                      implementation detail of the descent protocols; no
+                      other layer may take them.
+  3. blocking-under-map-mu: a blocking call (Lock/Wait/Acquire/Enter) made
+                      while NodeLatchTable::map_mu_ is held. map_mu_ is a
+                      strict leaf: lookup/refcount only, never held across
+                      anything that can block.
+  4. raw-std-mutex:   std::mutex / std::condition_variable & friends used
+                      outside the whitelist. Everything else must use
+                      common::Mutex (annotated for Clang TSA) via
+                      check::TrackedMutexLock (visible to lockdep);
+                      a raw primitive is invisible to both checkers.
+
+Pure Python 3 stdlib. Exit status 0 when clean, 1 with findings (one line
+per finding: path:line: rule: message). Run via the `lint-concurrency`
+CMake target or directly:  python3 tools/lint/check_concurrency.py [root]
+"""
+
+import os
+import re
+import sys
+
+# Files allowed to use raw std synchronization primitives, relative to the
+# repo root. Each entry carries its justification.
+RAW_STD_WHITELIST = {
+    # The annotated wrapper layer itself.
+    "src/common/mutex.h",
+    # The validator must not validate itself; its mutex is deliberately raw.
+    "src/check/lock_order.cc",
+    # Leaf I/O layer: MemoryBlockDevice's reader/writer shared_mutex nests
+    # below everything and is never held across a call out of the file.
+    "src/storage/block_device.h",
+    "src/storage/block_device.cc",
+    # Test-only fault injection; not part of the production lock hierarchy.
+    "src/storage/fault_injection.h",
+    "src/storage/fault_injection.cc",
+}
+
+# Only the tree layers may take node latches (rule 2).
+LATCH_DIRS = ("src/rtree/", "src/srtree/")
+
+# PhaseGate::Scope (and the gate implementation) live here (rule 1).
+GATE_IMPL_FILES = {"src/rtree/latch.h", "src/rtree/latch.cc"}
+
+RAW_STD_RE = re.compile(
+    r"\bstd::(mutex|recursive_mutex|shared_mutex|timed_mutex|"
+    r"condition_variable(_any)?|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock)\b"
+)
+BARE_GATE_RE = re.compile(
+    r"(?:\bgate\w*(?:\(\))?|phase_gate\(\))[.\->]+(Enter|Exit)\s*\("
+)
+LATCH_ACQUIRE_RE = re.compile(
+    r"\b(?:latch_table_?\w*(?:\(\))?|table)[.\->]+Acquire\s*\("
+)
+MAP_MU_ACQUIRE_RE = re.compile(r"TrackedMutexLock\s+\w+\([^)]*kLatchMap")
+BLOCKING_RE = re.compile(
+    r"(\.Lock\s*\(\)|->Lock\s*\(\)|\.Wait(Until)?\s*\(|\.Acquire\s*\(|"
+    r"\.Enter\s*\(|commit_fn|fsync|pread|pwrite)"
+)
+
+
+def strip_comments(lines):
+    """Blank out // and /* */ comment text, preserving line count/offsets."""
+    out = []
+    in_block = False
+    for line in lines:
+        result = []
+        i = 0
+        while i < len(line):
+            if in_block:
+                end = line.find("*/", i)
+                if end < 0:
+                    i = len(line)
+                else:
+                    in_block = False
+                    i = end + 2
+                continue
+            if line.startswith("//", i):
+                break
+            if line.startswith("/*", i):
+                in_block = True
+                i += 2
+                continue
+            result.append(line[i])
+            i += 1
+        out.append("".join(result))
+    return out
+
+
+def lint_file(root, rel, findings):
+    path = os.path.join(root, rel)
+    with open(path, encoding="utf-8", errors="replace") as f:
+        raw_lines = f.read().splitlines()
+    lines = strip_comments(raw_lines)
+
+    for lineno, line in enumerate(lines, start=1):
+        if RAW_STD_RE.search(line) and rel not in RAW_STD_WHITELIST:
+            findings.append(
+                f"{rel}:{lineno}: raw-std-mutex: use common::Mutex + "
+                f"check::TrackedMutexLock (or whitelist this file in "
+                f"tools/lint/check_concurrency.py with a justification)"
+            )
+        if BARE_GATE_RE.search(line) and rel not in GATE_IMPL_FILES:
+            findings.append(
+                f"{rel}:{lineno}: bare-gate: call sites must hold phases "
+                f"via PhaseGate::Scope, never Enter/Exit directly"
+            )
+        if LATCH_ACQUIRE_RE.search(line) and not rel.startswith(LATCH_DIRS):
+            findings.append(
+                f"{rel}:{lineno}: latch-outside-tree: NodeLatchTable::"
+                f"Acquire is reserved to src/rtree/ and src/srtree/"
+            )
+
+    # Rule 3: within the lexical scope that holds map_mu_, nothing may
+    # block. Track brace depth from the acquisition to the scope's end.
+    depth = 0
+    held_at = None  # Brace depth just before the acquiring statement.
+    for lineno, line in enumerate(lines, start=1):
+        if held_at is not None and depth >= held_at:
+            blocking = BLOCKING_RE.search(line)
+            if blocking and not MAP_MU_ACQUIRE_RE.search(line):
+                findings.append(
+                    f"{rel}:{lineno}: blocking-under-map-mu: "
+                    f"'{blocking.group(0).strip()}' while "
+                    f"NodeLatchTable::map_mu_ is held — map_mu_ is a leaf "
+                    f"lock (docs/CONCURRENCY.md §3)"
+                )
+        if MAP_MU_ACQUIRE_RE.search(line):
+            held_at = depth + 1 if "{" in line else depth
+        depth += line.count("{") - line.count("}")
+        if held_at is not None and depth < held_at:
+            held_at = None
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    findings = []
+    src_root = os.path.join(root, "src")
+    for dirpath, _dirnames, filenames in os.walk(src_root):
+        for name in sorted(filenames):
+            if not name.endswith((".h", ".cc")):
+                continue
+            rel = os.path.relpath(os.path.join(dirpath, name), root)
+            rel = rel.replace(os.sep, "/")
+            lint_file(root, rel, findings)
+    for entry in sorted(RAW_STD_WHITELIST):
+        if not os.path.exists(os.path.join(root, entry)):
+            findings.append(
+                f"{entry}:1: stale-whitelist: file no longer exists; prune "
+                f"it from tools/lint/check_concurrency.py"
+            )
+    if findings:
+        for finding in findings:
+            print(finding)
+        print(f"check_concurrency: {len(findings)} finding(s)",
+              file=sys.stderr)
+        return 1
+    print("check_concurrency: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

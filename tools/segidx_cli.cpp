@@ -364,6 +364,19 @@ int CmdStats(const Args& args, const std::string& file) {
           s.avg_region_width, s.avg_region_height);
     }
   }
+  const rtree::LatchStats latch = index->tree()->latch_stats();
+  static const char* const kModeNames[3] = {"read", "write", "exclusive"};
+  for (int m = 0; m < 3; ++m) {
+    std::printf("gate %-9s %llu enters, %llu blocked, %llu us waiting\n",
+                kModeNames[m],
+                static_cast<unsigned long long>(latch.gate_enters[m]),
+                static_cast<unsigned long long>(latch.gate_blocked[m]),
+                static_cast<unsigned long long>(latch.gate_wait_us[m]));
+  }
+  std::printf("node latch:     %llu acquires, %llu blocked, %llu us waiting\n",
+              static_cast<unsigned long long>(latch.latch_acquires),
+              static_cast<unsigned long long>(latch.latch_blocked),
+              static_cast<unsigned long long>(latch.latch_wait_us));
   return 0;
 }
 
@@ -754,6 +767,7 @@ int CmdBenchMixed(const Args& args) {
     double queries_per_sec;
     uint64_t commit_requests;
     uint64_t commit_batches;
+    rtree::LatchStats latch;  // Contention counters for this run's index.
   };
   std::vector<Row> rows;
   for (int writers : {1, 2, 4}) {
@@ -837,13 +851,23 @@ int CmdBenchMixed(const Args& args) {
     rows.push_back(Row{writers, static_cast<double>(ops.size()) / secs,
                        static_cast<double>(queries_done.load()) / secs,
                        idx->storage_stats().commit_requests,
-                       idx->storage_stats().commit_batches});
+                       idx->storage_stats().commit_batches,
+                       idx->tree()->latch_stats()});
+    const rtree::LatchStats& latch = rows.back().latch;
     std::printf(
         "%d writer(s): %.0f inserts/s, %.0f queries/s, "
-        "%llu commits in %llu batches\n",
+        "%llu commits in %llu batches\n"
+        "  contention: write gate %llu/%llu blocked (%llu us), "
+        "node latch %llu/%llu blocked (%llu us)\n",
         writers, rows.back().inserts_per_sec, rows.back().queries_per_sec,
         static_cast<unsigned long long>(rows.back().commit_requests),
-        static_cast<unsigned long long>(rows.back().commit_batches));
+        static_cast<unsigned long long>(rows.back().commit_batches),
+        static_cast<unsigned long long>(latch.gate_blocked[1]),
+        static_cast<unsigned long long>(latch.gate_enters[1]),
+        static_cast<unsigned long long>(latch.gate_wait_us[1]),
+        static_cast<unsigned long long>(latch.latch_blocked),
+        static_cast<unsigned long long>(latch.latch_acquires),
+        static_cast<unsigned long long>(latch.latch_wait_us));
   }
 
   const double speedup_4w =
@@ -853,17 +877,28 @@ int CmdBenchMixed(const Args& args) {
                      ", \"readers\": " + std::to_string(readers) +
                      ", \"commit_every\": " + std::to_string(commit_every) +
                      ", \"runs\": [";
-  char buf[256];
+  char buf[512];
   for (size_t i = 0; i < rows.size(); ++i) {
+    const rtree::LatchStats& latch = rows[i].latch;
     std::snprintf(
         buf, sizeof(buf),
         "%s{\"writers\": %d, \"inserts_per_sec\": %.0f, "
         "\"queries_per_sec\": %.0f, \"commit_requests\": %llu, "
-        "\"commit_batches\": %llu}",
+        "\"commit_batches\": %llu, \"gate_write_enters\": %llu, "
+        "\"gate_write_blocked\": %llu, \"gate_write_wait_us\": %llu, "
+        "\"gate_read_blocked\": %llu, \"node_latch_acquires\": %llu, "
+        "\"node_latch_blocked\": %llu, \"node_latch_wait_us\": %llu}",
         i == 0 ? "" : ", ", rows[i].writers, rows[i].inserts_per_sec,
         rows[i].queries_per_sec,
         static_cast<unsigned long long>(rows[i].commit_requests),
-        static_cast<unsigned long long>(rows[i].commit_batches));
+        static_cast<unsigned long long>(rows[i].commit_batches),
+        static_cast<unsigned long long>(latch.gate_enters[1]),
+        static_cast<unsigned long long>(latch.gate_blocked[1]),
+        static_cast<unsigned long long>(latch.gate_wait_us[1]),
+        static_cast<unsigned long long>(latch.gate_blocked[0]),
+        static_cast<unsigned long long>(latch.latch_acquires),
+        static_cast<unsigned long long>(latch.latch_blocked),
+        static_cast<unsigned long long>(latch.latch_wait_us));
     json += buf;
   }
   std::snprintf(buf, sizeof(buf), "], \"speedup_4_writers\": %.2f}\n",

@@ -29,6 +29,10 @@ const char* LockClassName(LockClass cls) {
       return "Pager::quarantine_mu_";
     case LockClass::kPagerCommit:
       return "Pager::commit_mu_";
+    case LockClass::kServerQueue:
+      return "Server queue mutex";
+    case LockClass::kServerConn:
+      return "Server connection write mutex";
     case LockClass::kClassCount:
       break;
   }

@@ -57,6 +57,10 @@ enum class LockClass : int {
   kPagerAlloc,      // storage::Pager::alloc_mu_ (after a partition latch).
   kPagerQuarantine,  // storage::Pager::quarantine_mu_.
   kPagerCommit,     // storage::Pager::commit_mu_ (group-commit sequencer).
+  kServerQueue,     // server::Server request queues / scheduler state.
+                    // Strict leaf: never held across index calls or sends.
+  kServerConn,      // server::Connection write mutex (frames out whole).
+                    // Strict leaf: held only across the socket write.
   kClassCount,
 };
 

@@ -7,13 +7,15 @@
 
 namespace segidx {
 
-Histogram::Histogram(Interval domain, int bucket_count)
-    : domain_(domain),
-      bucket_width_(domain.length() / bucket_count),
-      counts_(static_cast<size_t>(bucket_count), 0) {
+Histogram::Histogram(Interval domain, int bucket_count) : domain_(domain) {
+  // Validate before deriving anything: computing the width first would
+  // divide by zero for bucket_count == 0 (and leave AddN clamping to
+  // index -1, where std::clamp with lo > hi is UB).
   SEGIDX_CHECK_GE(bucket_count, 1);
   SEGIDX_CHECK(domain.valid());
   SEGIDX_CHECK_GT(domain.length(), 0);
+  bucket_width_ = domain.length() / bucket_count;
+  counts_.assign(static_cast<size_t>(bucket_count), 0);
 }
 
 void Histogram::Add(Coord value) { AddN(value, 1); }

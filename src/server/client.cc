@@ -1,0 +1,181 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace segidx::server {
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return IoError("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return InvalidArgumentError("bad address: " + host);
+  }
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status status = IoError("connect(" + host + ":" +
+                                  std::to_string(port) +
+                                  "): " + strerror(errno));
+    close(fd);
+    return status;
+  }
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<Client>(new Client(fd));
+}
+
+Client::~Client() {
+  if (fd_ >= 0) close(fd_);
+}
+
+Status Client::SendFrame(const std::vector<uint8_t>& payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return InvalidArgumentError("request frame too large");
+  }
+  std::vector<uint8_t> frame;
+  frame.reserve(4 + payload.size());
+  uint8_t len[4];
+  storage::EncodeU32(len, static_cast<uint32_t>(payload.size()));
+  frame.insert(frame.end(), len, len + 4);
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n =
+        write(fd_, frame.data() + sent, frame.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoError(std::string("send: ") + strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Client::ReadResponse(Response* out) {
+  auto read_exact = [this](uint8_t* dst, size_t n) -> Status {
+    size_t got = 0;
+    while (got < n) {
+      const ssize_t r = read(fd_, dst + got, n - got);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return IoError(std::string("recv: ") + strerror(errno));
+      }
+      if (r == 0) return IoError("connection closed by server");
+      got += static_cast<size_t>(r);
+    }
+    return Status::OK();
+  };
+  uint8_t len_buf[4];
+  SEGIDX_RETURN_IF_ERROR(read_exact(len_buf, 4));
+  const uint32_t len = storage::DecodeU32(len_buf);
+  if (len == 0 || len > kMaxFrameBytes) {
+    return CorruptionError("bad response frame length");
+  }
+  std::vector<uint8_t> payload(len);
+  SEGIDX_RETURN_IF_ERROR(read_exact(payload.data(), len));
+  if (!DecodeResponse(payload.data(), payload.size(), out)) {
+    return CorruptionError("malformed response frame");
+  }
+  return Status::OK();
+}
+
+Status Client::RoundTrip(const std::vector<uint8_t>& payload,
+                         uint64_t request_id, Response* out) {
+  SEGIDX_RETURN_IF_ERROR(SendFrame(payload));
+  SEGIDX_RETURN_IF_ERROR(ReadResponse(out));
+  if (out->request_id != request_id) {
+    // Convenience calls never pipeline, so completion order is request
+    // order; a mismatch means the stream is desynchronized.
+    return CorruptionError("response id does not match the request");
+  }
+  return Status::OK();
+}
+
+Status Client::Search(const Rect& rect, SearchReply* reply,
+                      uint64_t budget_us, bool allow_partial) {
+  const uint64_t id = next_id_++;
+  Response resp;
+  SEGIDX_RETURN_IF_ERROR(RoundTrip(
+      EncodeSearchRequest(id, rect, budget_us, allow_partial), id, &resp));
+  if (!resp.ToStatus().ok()) return resp.ToStatus();
+  if (!DecodeSearchBody(resp.body, reply)) {
+    return CorruptionError("malformed search body");
+  }
+  return Status::OK();
+}
+
+Status Client::Insert(const Rect& rect, TupleId tid) {
+  const uint64_t id = next_id_++;
+  Response resp;
+  SEGIDX_RETURN_IF_ERROR(RoundTrip(
+      EncodeWriteRequest(MsgType::kInsert, id, rect, tid), id, &resp));
+  return resp.ToStatus();
+}
+
+Status Client::Delete(const Rect& rect, TupleId tid) {
+  const uint64_t id = next_id_++;
+  Response resp;
+  SEGIDX_RETURN_IF_ERROR(RoundTrip(
+      EncodeWriteRequest(MsgType::kDelete, id, rect, tid), id, &resp));
+  return resp.ToStatus();
+}
+
+Status Client::Commit() {
+  const uint64_t id = next_id_++;
+  Response resp;
+  SEGIDX_RETURN_IF_ERROR(
+      RoundTrip(EncodeSimpleRequest(MsgType::kCommit, id), id, &resp));
+  return resp.ToStatus();
+}
+
+Result<std::string> Client::Stats() {
+  const uint64_t id = next_id_++;
+  Response resp;
+  SEGIDX_RETURN_IF_ERROR(
+      RoundTrip(EncodeSimpleRequest(MsgType::kStats, id), id, &resp));
+  if (!resp.ToStatus().ok()) return resp.ToStatus();
+  return std::string(resp.body.begin(), resp.body.end());
+}
+
+Result<std::string> Client::Health() {
+  const uint64_t id = next_id_++;
+  Response resp;
+  SEGIDX_RETURN_IF_ERROR(
+      RoundTrip(EncodeSimpleRequest(MsgType::kHealth, id), id, &resp));
+  if (!resp.ToStatus().ok()) return resp.ToStatus();
+  return std::string(resp.body.begin(), resp.body.end());
+}
+
+Result<uint64_t> Client::SendSearch(const Rect& rect, uint64_t budget_us,
+                                    bool allow_partial) {
+  const uint64_t id = next_id_++;
+  SEGIDX_RETURN_IF_ERROR(
+      SendFrame(EncodeSearchRequest(id, rect, budget_us, allow_partial)));
+  return id;
+}
+
+Result<uint64_t> Client::SendInsert(const Rect& rect, TupleId tid) {
+  const uint64_t id = next_id_++;
+  SEGIDX_RETURN_IF_ERROR(
+      SendFrame(EncodeWriteRequest(MsgType::kInsert, id, rect, tid)));
+  return id;
+}
+
+Result<uint64_t> Client::SendCommit() {
+  const uint64_t id = next_id_++;
+  SEGIDX_RETURN_IF_ERROR(SendFrame(EncodeSimpleRequest(MsgType::kCommit, id)));
+  return id;
+}
+
+}  // namespace segidx::server

@@ -1,0 +1,68 @@
+// Blocking client for the segidxd wire protocol.
+//
+// One Client owns one TCP connection. The convenience calls (Search,
+// Insert, Commit, ...) are strict request/response round trips; the
+// Send*/ReadResponse primitives expose pipelining — queue several frames,
+// then collect responses and match them by request_id — which is what the
+// load generator and the quota tests need. A Client is not thread-safe;
+// use one per thread.
+
+#ifndef SEGIDX_SERVER_CLIENT_H_
+#define SEGIDX_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "server/protocol.h"
+
+namespace segidx::server {
+
+class Client {
+ public:
+  static Result<std::unique_ptr<Client>> Connect(const std::string& host,
+                                                 uint16_t port);
+
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Round trips. The returned Status is the server's verdict for the
+  // request (kDeadlineExceeded, kResourceExhausted, ...) or a local
+  // kIoError when the connection itself failed.
+  Status Search(const Rect& rect, SearchReply* reply, uint64_t budget_us = 0,
+                bool allow_partial = false);
+  Status Insert(const Rect& rect, TupleId tid);
+  Status Delete(const Rect& rect, TupleId tid);
+  Status Commit();
+  Result<std::string> Stats();
+  Result<std::string> Health();
+
+  // Pipelining primitives. Each Send* picks and returns a fresh
+  // request_id; ReadResponse returns the next response frame off the wire
+  // (completion order — match on Response::request_id).
+  Result<uint64_t> SendSearch(const Rect& rect, uint64_t budget_us = 0,
+                              bool allow_partial = false);
+  Result<uint64_t> SendInsert(const Rect& rect, TupleId tid);
+  Result<uint64_t> SendCommit();
+  Status ReadResponse(Response* out);
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  Status SendFrame(const std::vector<uint8_t>& payload);
+  // One full round trip for a single-response request.
+  Status RoundTrip(const std::vector<uint8_t>& payload, uint64_t request_id,
+                   Response* out);
+
+  int fd_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace segidx::server
+
+#endif  // SEGIDX_SERVER_CLIENT_H_

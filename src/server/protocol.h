@@ -1,0 +1,323 @@
+// Wire protocol for segidxd, the network serving layer.
+//
+// Frames are length-prefixed: a little-endian u32 payload length followed
+// by the payload. Payloads reuse the on-page little-endian coding helpers
+// (storage/coding.h), so the wire format is byte-identical across
+// platforms, like the file format.
+//
+// Request payload layout:
+//
+//   u8  type          (MsgType)
+//   u64 request_id    (client-chosen; echoed verbatim in the response)
+//   -- kSearch:  4 x f64 rect, u64 budget_us (0 = no deadline),
+//                u8 allow_partial
+//   -- kInsert / kDelete: 4 x f64 rect, u64 tid
+//   -- kCommit / kStats / kHealth: no body
+//
+// Response payload layout:
+//
+//   u8  type          (echoes the request type)
+//   u64 request_id
+//   u8  status_code   (StatusCode)
+//   u32 message_len, message bytes (status message; empty on OK)
+//   -- kSearch: u8 partial, u64 nodes_accessed, u32 hit_count,
+//               hit_count x { u64 tid, 4 x f64 rect }
+//   -- kStats / kHealth: the remaining bytes are a JSON document
+//   -- others: no body
+//
+// Responses on one connection arrive in completion order, not request
+// order — a pipelining client must match on request_id. The server closes
+// the connection on any malformed frame (bad length, unknown type, short
+// body): framing is the protocol's only integrity layer, so a parse error
+// means the stream is unrecoverable.
+
+#ifndef SEGIDX_SERVER_PROTOCOL_H_
+#define SEGIDX_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "rtree/rtree.h"
+#include "storage/coding.h"
+
+namespace segidx::server {
+
+// Hard cap on one frame's payload. Large enough for ~100k search hits;
+// small enough that a garbage length prefix cannot make the server (or a
+// client) try to buffer gigabytes.
+inline constexpr uint32_t kMaxFrameBytes = 8u << 20;
+
+enum class MsgType : uint8_t {
+  kSearch = 1,
+  kInsert = 2,
+  kDelete = 3,
+  kCommit = 4,
+  kStats = 5,
+  kHealth = 6,
+};
+
+inline bool ValidMsgType(uint8_t raw) {
+  return raw >= static_cast<uint8_t>(MsgType::kSearch) &&
+         raw <= static_cast<uint8_t>(MsgType::kHealth);
+}
+
+// A decoded request. Fields beyond `type`/`request_id` are meaningful only
+// for the message types that carry them.
+struct Request {
+  MsgType type = MsgType::kHealth;
+  uint64_t request_id = 0;
+  Rect rect;
+  TupleId tid = 0;
+  uint64_t budget_us = 0;     // kSearch: 0 = no deadline.
+  bool allow_partial = false;  // kSearch.
+};
+
+// A decoded response. `body` holds the type-specific tail (search hits or
+// JSON text), still encoded.
+struct Response {
+  MsgType type = MsgType::kHealth;
+  uint64_t request_id = 0;
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  std::vector<uint8_t> body;
+
+  Status ToStatus() const {
+    if (code == StatusCode::kOk) return Status::OK();
+    return Status(code, message);
+  }
+};
+
+namespace wire {
+
+inline void AppendU8(std::vector<uint8_t>* out, uint8_t v) {
+  out->push_back(v);
+}
+inline void AppendU32(std::vector<uint8_t>* out, uint32_t v) {
+  uint8_t buf[4];
+  storage::EncodeU32(buf, v);
+  out->insert(out->end(), buf, buf + 4);
+}
+inline void AppendU64(std::vector<uint8_t>* out, uint64_t v) {
+  uint8_t buf[8];
+  storage::EncodeU64(buf, v);
+  out->insert(out->end(), buf, buf + 8);
+}
+inline void AppendDouble(std::vector<uint8_t>* out, double v) {
+  uint8_t buf[8];
+  storage::EncodeDouble(buf, v);
+  out->insert(out->end(), buf, buf + 8);
+}
+inline void AppendRect(std::vector<uint8_t>* out, const Rect& r) {
+  AppendDouble(out, r.x.lo);
+  AppendDouble(out, r.x.hi);
+  AppendDouble(out, r.y.lo);
+  AppendDouble(out, r.y.hi);
+}
+
+// Sequential decoder over a payload; every Take checks bounds so a short
+// or oversized body is a decode failure, never an out-of-range read.
+class Cursor {
+ public:
+  Cursor(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool TakeU8(uint8_t* v) {
+    if (pos_ + 1 > size_) return false;
+    *v = data_[pos_];
+    pos_ += 1;
+    return true;
+  }
+  bool TakeU32(uint32_t* v) {
+    if (pos_ + 4 > size_) return false;
+    *v = storage::DecodeU32(data_ + pos_);
+    pos_ += 4;
+    return true;
+  }
+  bool TakeU64(uint64_t* v) {
+    if (pos_ + 8 > size_) return false;
+    *v = storage::DecodeU64(data_ + pos_);
+    pos_ += 8;
+    return true;
+  }
+  bool TakeDouble(double* v) {
+    if (pos_ + 8 > size_) return false;
+    *v = storage::DecodeDouble(data_ + pos_);
+    pos_ += 8;
+    return true;
+  }
+  bool TakeRect(Rect* r) {
+    return TakeDouble(&r->x.lo) && TakeDouble(&r->x.hi) &&
+           TakeDouble(&r->y.lo) && TakeDouble(&r->y.hi);
+  }
+  bool TakeBytes(size_t n, const uint8_t** p) {
+    if (pos_ + n > size_) return false;
+    *p = data_ + pos_;
+    pos_ += n;
+    return true;
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+  bool exhausted() const { return pos_ == size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace wire
+
+// --- Request encoding / decoding -------------------------------------------
+
+inline std::vector<uint8_t> EncodeSearchRequest(uint64_t request_id,
+                                                const Rect& rect,
+                                                uint64_t budget_us,
+                                                bool allow_partial) {
+  std::vector<uint8_t> out;
+  out.reserve(1 + 8 + 32 + 8 + 1);
+  wire::AppendU8(&out, static_cast<uint8_t>(MsgType::kSearch));
+  wire::AppendU64(&out, request_id);
+  wire::AppendRect(&out, rect);
+  wire::AppendU64(&out, budget_us);
+  wire::AppendU8(&out, allow_partial ? 1 : 0);
+  return out;
+}
+
+inline std::vector<uint8_t> EncodeWriteRequest(MsgType type,
+                                               uint64_t request_id,
+                                               const Rect& rect,
+                                               TupleId tid) {
+  std::vector<uint8_t> out;
+  out.reserve(1 + 8 + 32 + 8);
+  wire::AppendU8(&out, static_cast<uint8_t>(type));
+  wire::AppendU64(&out, request_id);
+  wire::AppendRect(&out, rect);
+  wire::AppendU64(&out, tid);
+  return out;
+}
+
+inline std::vector<uint8_t> EncodeSimpleRequest(MsgType type,
+                                                uint64_t request_id) {
+  std::vector<uint8_t> out;
+  out.reserve(1 + 8);
+  wire::AppendU8(&out, static_cast<uint8_t>(type));
+  wire::AppendU64(&out, request_id);
+  return out;
+}
+
+inline bool DecodeRequest(const uint8_t* data, size_t size, Request* out) {
+  wire::Cursor cur(data, size);
+  uint8_t raw_type = 0;
+  if (!cur.TakeU8(&raw_type) || !ValidMsgType(raw_type)) return false;
+  out->type = static_cast<MsgType>(raw_type);
+  if (!cur.TakeU64(&out->request_id)) return false;
+  switch (out->type) {
+    case MsgType::kSearch: {
+      uint8_t partial = 0;
+      if (!cur.TakeRect(&out->rect) || !cur.TakeU64(&out->budget_us) ||
+          !cur.TakeU8(&partial)) {
+        return false;
+      }
+      out->allow_partial = partial != 0;
+      break;
+    }
+    case MsgType::kInsert:
+    case MsgType::kDelete:
+      if (!cur.TakeRect(&out->rect) || !cur.TakeU64(&out->tid)) return false;
+      break;
+    case MsgType::kCommit:
+    case MsgType::kStats:
+    case MsgType::kHealth:
+      break;
+  }
+  return cur.exhausted();
+}
+
+// --- Response encoding / decoding ------------------------------------------
+
+// Header plus an already-encoded type-specific body.
+inline std::vector<uint8_t> EncodeResponse(MsgType type, uint64_t request_id,
+                                           const Status& status,
+                                           const uint8_t* body = nullptr,
+                                           size_t body_size = 0) {
+  std::vector<uint8_t> out;
+  out.reserve(1 + 8 + 1 + 4 + status.message().size() + body_size);
+  wire::AppendU8(&out, static_cast<uint8_t>(type));
+  wire::AppendU64(&out, request_id);
+  wire::AppendU8(&out, static_cast<uint8_t>(status.code()));
+  wire::AppendU32(&out, static_cast<uint32_t>(status.message().size()));
+  out.insert(out.end(), status.message().begin(), status.message().end());
+  if (body_size > 0) out.insert(out.end(), body, body + body_size);
+  return out;
+}
+
+inline std::vector<uint8_t> EncodeSearchBody(
+    const std::vector<rtree::SearchHit>& hits, bool partial,
+    uint64_t nodes_accessed) {
+  std::vector<uint8_t> out;
+  out.reserve(1 + 8 + 4 + hits.size() * 40);
+  wire::AppendU8(&out, partial ? 1 : 0);
+  wire::AppendU64(&out, nodes_accessed);
+  wire::AppendU32(&out, static_cast<uint32_t>(hits.size()));
+  for (const rtree::SearchHit& hit : hits) {
+    wire::AppendU64(&out, hit.tid);
+    wire::AppendRect(&out, hit.rect);
+  }
+  return out;
+}
+
+inline bool DecodeResponse(const uint8_t* data, size_t size, Response* out) {
+  wire::Cursor cur(data, size);
+  uint8_t raw_type = 0;
+  uint8_t raw_code = 0;
+  uint32_t msg_len = 0;
+  if (!cur.TakeU8(&raw_type) || !ValidMsgType(raw_type) ||
+      !cur.TakeU64(&out->request_id) || !cur.TakeU8(&raw_code) ||
+      !cur.TakeU32(&msg_len)) {
+    return false;
+  }
+  out->type = static_cast<MsgType>(raw_type);
+  out->code = static_cast<StatusCode>(raw_code);
+  const uint8_t* msg = nullptr;
+  if (!cur.TakeBytes(msg_len, &msg)) return false;
+  out->message.assign(reinterpret_cast<const char*>(msg), msg_len);
+  const uint8_t* body = nullptr;
+  const size_t body_size = cur.remaining();
+  if (!cur.TakeBytes(body_size, &body)) return false;
+  out->body.assign(body, body + body_size);
+  return true;
+}
+
+struct SearchReply {
+  std::vector<rtree::SearchHit> hits;
+  bool partial = false;
+  uint64_t nodes_accessed = 0;
+};
+
+inline bool DecodeSearchBody(const std::vector<uint8_t>& body,
+                             SearchReply* out) {
+  wire::Cursor cur(body.data(), body.size());
+  uint8_t partial = 0;
+  uint32_t count = 0;
+  if (!cur.TakeU8(&partial) || !cur.TakeU64(&out->nodes_accessed) ||
+      !cur.TakeU32(&count)) {
+    return false;
+  }
+  out->partial = partial != 0;
+  if (cur.remaining() != static_cast<size_t>(count) * 40) return false;
+  out->hits.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!cur.TakeU64(&out->hits[i].tid) || !cur.TakeRect(&out->hits[i].rect)) {
+      return false;
+    }
+  }
+  return cur.exhausted();
+}
+
+}  // namespace segidx::server
+
+#endif  // SEGIDX_SERVER_PROTOCOL_H_

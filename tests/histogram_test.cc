@@ -90,6 +90,16 @@ TEST(HistogramTest, MassInPrefixStillCoversDomain) {
   }
 }
 
+TEST(HistogramDeathTest, ZeroBucketCountIsRejectedBeforeDividing) {
+  // The constructor must CHECK-fail on bucket_count == 0 instead of
+  // dividing by zero while initializing the bucket width.
+  EXPECT_DEATH(Histogram(Interval(0, 100), 0), "bucket_count");
+}
+
+TEST(HistogramDeathTest, EmptyDomainIsRejected) {
+  EXPECT_DEATH(Histogram(Interval(5, 5), 4), "length");
+}
+
 TEST(HistogramTest, AddNBulk) {
   Histogram h(Interval(0, 10), 2);
   h.AddN(1, 50);

@@ -1,0 +1,342 @@
+// Integration tests for the segidxd serving layer: a real server::Server
+// on a loopback socket, driven by real server::Client connections.
+// Covers the acceptance contract of the serving PR: concurrent search and
+// write clients agree with a serial oracle, an expired deadline fails the
+// request without killing its connection, quotas shed pipelined overload,
+// malformed frames drop only the offending connection, and committed
+// writes survive a reopen.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "core/interval_index.h"
+#include "gtest/gtest.h"
+#include "oracle/naive_oracle.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace segidx {
+namespace {
+
+using core::IndexKind;
+using core::IndexOptions;
+using core::IntervalIndex;
+using server::Client;
+using server::Server;
+using server::ServerOptions;
+
+Rect RandomInterval(Rng* rng) {
+  const double s = rng->Uniform(0.0, 1000.0);
+  return Rect(Interval(s, s + rng->Uniform(0.5, 30.0)),
+              Interval::Point(rng->Uniform(0.0, 1000.0)));
+}
+
+std::vector<TupleId> SortedTids(const std::vector<rtree::SearchHit>& hits) {
+  std::vector<TupleId> tids;
+  tids.reserve(hits.size());
+  for (const rtree::SearchHit& hit : hits) tids.push_back(hit.tid);
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  return tids;
+}
+
+std::unique_ptr<IntervalIndex> MakeIndex() {
+  auto created =
+      IntervalIndex::CreateInMemory(IndexKind::kRTree, IndexOptions());
+  EXPECT_TRUE(created.ok()) << created.status().ToString();
+  return std::move(created).value();
+}
+
+TEST(ServerTest, StartStopHealthAndStats) {
+  auto index = MakeIndex();
+  Server server(index.get(), ServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  auto health = (*client)->Health();
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_NE(health->find("\"status\": \"ok\""), std::string::npos) << *health;
+  EXPECT_NE(health->find("\"quarantined_pages\""), std::string::npos);
+  EXPECT_NE(health->find("\"scrub\""), std::string::npos);
+  EXPECT_NE(health->find("\"search_queue_depth\""), std::string::npos);
+
+  auto stats = (*client)->Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  for (const char* field :
+       {"\"searches\"", "\"batches\"", "\"shed_queue_full\"",
+        "\"deadline_expired\"", "\"commit_requests\"",
+        "\"gate_read_enters\"", "\"pages_quarantined\""}) {
+    EXPECT_NE(stats->find(field), std::string::npos)
+        << "missing " << field << " in " << *stats;
+  }
+  server.Stop();
+}
+
+// The headline guarantee: N insert clients and M search clients hammering
+// the server concurrently, then every query answered over the settled
+// index matches a serial oracle exactly.
+TEST(ServerTest, ConcurrentClientsMatchOracle) {
+  auto index = MakeIndex();
+  ServerOptions options;
+  options.commit_every = 64;
+  options.max_batch = 16;
+  Server server(index.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+  const uint16_t port = server.port();
+
+  constexpr int kWriters = 4;
+  constexpr int kSearchers = 2;
+  constexpr uint64_t kPerWriter = 300;
+
+  // Deterministic per-writer workloads, mirrored into the oracle.
+  std::vector<std::vector<std::pair<Rect, TupleId>>> workloads(kWriters);
+  oracle::NaiveOracle oracle;
+  for (int w = 0; w < kWriters; ++w) {
+    Rng rng(1000 + static_cast<uint64_t>(w));
+    for (uint64_t i = 0; i < kPerWriter; ++i) {
+      const Rect rect = RandomInterval(&rng);
+      const TupleId tid = static_cast<TupleId>(w) * kPerWriter + i + 1;
+      workloads[static_cast<size_t>(w)].emplace_back(rect, tid);
+      oracle.Insert(rect, tid);
+    }
+  }
+
+  std::atomic<bool> stop_searching{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      auto client = Client::Connect("127.0.0.1", port);
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      for (const auto& [rect, tid] : workloads[static_cast<size_t>(w)]) {
+        if (!(*client)->Insert(rect, tid).ok()) {
+          ++failures;
+          return;
+        }
+      }
+      if (!(*client)->Commit().ok()) ++failures;
+    });
+  }
+  // Searchers run concurrently with the writers; their results are
+  // transient (the snapshot moves) so only protocol health is asserted.
+  for (int s = 0; s < kSearchers; ++s) {
+    threads.emplace_back([&, s] {
+      auto client = Client::Connect("127.0.0.1", port);
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      Rng rng(77 + static_cast<uint64_t>(s));
+      while (!stop_searching.load()) {
+        const double x = rng.Uniform(0.0, 900.0);
+        const double y = rng.Uniform(0.0, 900.0);
+        server::SearchReply reply;
+        if (!(*client)->Search(Rect(x, x + 80, y, y + 80), &reply).ok()) {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) threads[static_cast<size_t>(w)].join();
+  stop_searching.store(true);
+  for (size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+  ASSERT_EQ(failures.load(), 0);
+
+  // Settled: every query matches the oracle.
+  auto client = Client::Connect("127.0.0.1", port);
+  ASSERT_TRUE(client.ok());
+  Rng rng(424242);
+  for (int q = 0; q < 50; ++q) {
+    const double x = rng.Uniform(0.0, 900.0);
+    const double y = rng.Uniform(0.0, 900.0);
+    const Rect query(x, x + 100, y, y + 100);
+    server::SearchReply reply;
+    ASSERT_TRUE((*client)->Search(query, &reply).ok());
+    EXPECT_FALSE(reply.partial);
+    EXPECT_EQ(SortedTids(reply.hits), oracle.Search(query)) << "query " << q;
+  }
+  server.Stop();
+  EXPECT_EQ(index->size(), kWriters * kPerWriter);
+}
+
+TEST(ServerTest, DeleteIsServed) {
+  auto index = MakeIndex();
+  Server server(index.get(), ServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  const Rect rect(10, 20, 5, 5);
+  ASSERT_TRUE((*client)->Insert(rect, 7).ok());
+  ASSERT_TRUE((*client)->Insert(Rect(50, 60, 5, 5), 8).ok());
+  server::SearchReply reply;
+  ASSERT_TRUE((*client)->Search(Rect(0, 100, 0, 10), &reply).ok());
+  EXPECT_EQ(reply.hits.size(), 2u);
+
+  ASSERT_TRUE((*client)->Delete(rect, 7).ok());
+  ASSERT_TRUE((*client)->Search(Rect(0, 100, 0, 10), &reply).ok());
+  ASSERT_EQ(reply.hits.size(), 1u);
+  EXPECT_EQ(reply.hits[0].tid, 8u);
+  server.Stop();
+}
+
+// A request whose budget expires while queued is answered
+// kDeadlineExceeded — and the connection stays healthy for the next
+// request.
+TEST(ServerTest, ExpiredDeadlineFailsRequestNotConnection) {
+  auto index = MakeIndex();
+  ServerOptions options;
+  // Test hook: every batch waits 20ms between dequeue and the admission
+  // deadline check, so a 1us budget reliably expires in the queue.
+  options.admission_delay_us = 20000;
+  Server server(index.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  ASSERT_TRUE((*client)->Insert(Rect(10, 20, 5, 5), 1).ok());
+
+  server::SearchReply reply;
+  const Status expired =
+      (*client)->Search(Rect(0, 100, 0, 10), &reply, /*budget_us=*/1);
+  EXPECT_EQ(expired.code(), StatusCode::kDeadlineExceeded)
+      << expired.ToString();
+
+  // Same connection, no budget: must succeed.
+  ASSERT_TRUE((*client)->Search(Rect(0, 100, 0, 10), &reply).ok());
+  EXPECT_EQ(reply.hits.size(), 1u);
+
+  const auto stats = server.stats_snapshot();
+  EXPECT_GE(stats.deadline_expired, 1u);
+  server.Stop();
+}
+
+// Pipelining more requests than the per-connection quota gets the excess
+// shed with kResourceExhausted while the admitted ones still complete.
+TEST(ServerTest, PerConnectionQuotaShedsPipelinedOverload) {
+  auto index = MakeIndex();
+  ServerOptions options;
+  options.max_inflight_per_conn = 2;
+  // Slow the dispatcher so the pipelined burst is all in flight at once.
+  options.admission_delay_us = 30000;
+  Server server(index.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  constexpr int kBurst = 8;
+  for (int i = 0; i < kBurst; ++i) {
+    ASSERT_TRUE((*client)->SendSearch(Rect(0, 10, 0, 10)).ok());
+  }
+  int ok = 0, shed = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    server::Response resp;
+    ASSERT_TRUE((*client)->ReadResponse(&resp).ok());
+    if (resp.code == StatusCode::kOk) {
+      ++ok;
+    } else {
+      ASSERT_EQ(resp.code, StatusCode::kResourceExhausted)
+          << resp.ToStatus().ToString();
+      ++shed;
+    }
+  }
+  EXPECT_GT(ok, 0);
+  EXPECT_GT(shed, 0);
+  EXPECT_GE(server.stats_snapshot().shed_quota, static_cast<uint64_t>(shed));
+
+  // The connection is still usable after being shed.
+  server::SearchReply reply;
+  EXPECT_TRUE((*client)->Search(Rect(0, 10, 0, 10), &reply).ok());
+  server.Stop();
+}
+
+// A malformed frame kills only the offending connection; the server and
+// other connections keep serving.
+TEST(ServerTest, MalformedFrameDropsConnectionOnly) {
+  auto index = MakeIndex();
+  Server server(index.get(), ServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  // Length 3, unknown type 0xee: a protocol violation.
+  const uint8_t garbage[] = {3, 0, 0, 0, 0xee, 0x01, 0x02};
+  ASSERT_EQ(write(fd, garbage, sizeof(garbage)),
+            static_cast<ssize_t>(sizeof(garbage)));
+  uint8_t byte = 0;
+  EXPECT_EQ(read(fd, &byte, 1), 0);  // Server closed the connection.
+  close(fd);
+
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  auto health = (*client)->Health();
+  ASSERT_TRUE(health.ok());
+  EXPECT_GE(server.stats_snapshot().protocol_errors, 1u);
+  server.Stop();
+}
+
+// Writes acknowledged after an explicit commit survive stopping the
+// server, closing the index, and reopening the file.
+TEST(ServerTest, CommittedWritesSurviveReopen) {
+  const std::string path =
+      testing::TempDir() + "/segidx_server_commit_test.idx";
+  std::remove(path.c_str());
+  auto created =
+      IntervalIndex::CreateOnDisk(IndexKind::kRTree, path, IndexOptions());
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  auto index = std::move(created).value();
+
+  {
+    Server server(index.get(), ServerOptions());
+    ASSERT_TRUE(server.Start().ok());
+    auto client = Client::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok());
+    for (TupleId tid = 1; tid <= 20; ++tid) {
+      ASSERT_TRUE((*client)
+                      ->Insert(Rect(Interval(10.0 * static_cast<double>(tid),
+                                             10.0 * static_cast<double>(tid) +
+                                                 5.0),
+                                    Interval::Point(1.0)),
+                               tid)
+                      .ok());
+    }
+    ASSERT_TRUE((*client)->Commit().ok());
+    server.Stop();
+  }
+  ASSERT_TRUE(index->Close().ok());
+  index.reset();
+
+  auto reopened = IntervalIndex::OpenFromDisk(path, IndexOptions());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->size(), 20u);
+  std::vector<TupleId> tids;
+  ASSERT_TRUE((*reopened)->SearchTuples(Rect(0, 1000, 0, 10), &tids).ok());
+  EXPECT_EQ(tids.size(), 20u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace segidx

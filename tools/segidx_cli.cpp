@@ -22,6 +22,10 @@
 //                 [--checkpoint-every=N] [--tear=BYTES] [--max-points=N]
 //                 [--rounds=N] [--corrupt=N] [--seed=S] [--pool=BYTES]
 //                 [--quiet=1]
+//   segidx serve  --file=idx [--port=N] [--host=ADDR] [--threads=N]
+//                 [--writers=N] [--max-batch=N] [--queue-depth=N]
+//                 [--max-inflight=N] [--commit-every=N] [--budget-us=N]
+//                 [--scrub-interval-ms=N] [--scrub-rate=N]
 //
 // `verify` stops at the first violation; `check` runs the full
 // StructureChecker walk and prints every violation plus walk statistics.
@@ -46,12 +50,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
+#include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -62,6 +70,7 @@
 #include "core/interval_index.h"
 #include "exec/write_pool.h"
 #include "core/salvage.h"
+#include "server/server.h"
 #include "storage/fault_injection.h"
 #include "torture/recovery_torture.h"
 #include "torture/scrub_torture.h"
@@ -106,7 +115,12 @@ int Usage() {
       "          [--checkpoint-every=N] [--tear=BYTES] [--max-points=N]\n"
       "          --mode=scrub: [--kind=srtree] [--records=N] [--rounds=N]\n"
       "          [--corrupt=N]\n"
-      "          common: [--seed=S] [--pool=BYTES] [--quiet=1]\n");
+      "          common: [--seed=S] [--pool=BYTES] [--quiet=1]\n"
+      "  serve:  socket server (segidxd); stop with SIGINT/SIGTERM\n"
+      "          [--port=N] [--host=ADDR] [--threads=N] [--writers=N]\n"
+      "          [--max-batch=N] [--queue-depth=N] [--max-inflight=N]\n"
+      "          [--commit-every=N] [--budget-us=N]\n"
+      "          [--scrub-interval-ms=N] [--scrub-rate=N]\n");
   return 2;
 }
 
@@ -161,19 +175,108 @@ std::optional<std::vector<double>> ParseColons(const std::string& text,
   return out;
 }
 
-IndexOptions OptionsFrom(const Args& args) {
-  IndexOptions options;
-  if (auto expected = args.Get("expected")) {
-    options.skeleton.expected_tuples = std::stoull(*expected);
+// Strict numeric value parsers: the whole string must be one number, no
+// trailing garbage, no overflow. std::stoull and friends would throw (and,
+// uncaught, abort the process) on input like --records=abc; a typo in a
+// flag is a user error, not a crash.
+bool ParseU64Value(const std::string& text, uint64_t* out) {
+  if (text.empty() || !std::isdigit(static_cast<unsigned char>(text[0]))) {
+    return false;
   }
-  if (auto sample = args.Get("sample")) {
-    options.skeleton.prediction_sample = std::stoull(*sample);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseF64Value(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE ||
+      !std::isfinite(v)) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+// Flag readers. Absent flags leave *out at its default and succeed;
+// present-but-malformed values print what was rejected and return false,
+// which callers turn into exit code 1 (the convention the bench-parallel
+// --threads guard established). All integer flags in this CLI are counts
+// or sizes, so negatives are always rejected; `require_positive`
+// additionally rejects zero (e.g. --threads=0 would spin up no workers).
+bool GetU64(const Args& args, const char* key, uint64_t* out,
+            bool require_positive = false) {
+  const auto v = args.Get(key);
+  if (!v) return true;
+  uint64_t parsed = 0;
+  if (!ParseU64Value(*v, &parsed) || (require_positive && parsed == 0)) {
+    std::fprintf(stderr, "--%s: expected a %s integer, got '%s'\n", key,
+                 require_positive ? "positive" : "non-negative", v->c_str());
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+bool GetSize(const Args& args, const char* key, size_t* out,
+             bool require_positive = false) {
+  uint64_t v = *out;
+  if (!GetU64(args, key, &v, require_positive)) return false;
+  *out = static_cast<size_t>(v);
+  return true;
+}
+
+bool GetI32(const Args& args, const char* key, int* out,
+            bool require_positive = false) {
+  uint64_t v = static_cast<uint64_t>(*out);
+  if (!GetU64(args, key, &v, require_positive)) return false;
+  if (v > static_cast<uint64_t>(std::numeric_limits<int>::max())) {
+    std::fprintf(stderr, "--%s: value %llu out of range\n", key,
+                 static_cast<unsigned long long>(v));
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
+bool GetF64(const Args& args, const char* key, double* out,
+            bool require_positive = false) {
+  const auto v = args.Get(key);
+  if (!v) return true;
+  double parsed = 0;
+  if (!ParseF64Value(*v, &parsed) || (require_positive && parsed <= 0)) {
+    std::fprintf(stderr, "--%s: expected a %snumber, got '%s'\n", key,
+                 require_positive ? "positive " : "", v->c_str());
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+// Index options from flags. nullopt (after printing the offending flag)
+// when a value does not parse — including a malformed --domain, which used
+// to be dropped silently.
+std::optional<IndexOptions> OptionsFrom(const Args& args) {
+  IndexOptions options;
+  if (!GetU64(args, "expected", &options.skeleton.expected_tuples) ||
+      !GetU64(args, "sample", &options.skeleton.prediction_sample)) {
+    return std::nullopt;
   }
   if (auto domain = args.Get("domain")) {
-    if (auto v = ParseColons(*domain, 4)) {
-      options.skeleton.x_domain = Interval((*v)[0], (*v)[1]);
-      options.skeleton.y_domain = Interval((*v)[2], (*v)[3]);
+    const auto v = ParseColons(*domain, 4);
+    if (!v) {
+      std::fprintf(stderr, "--domain: want xlo:xhi:ylo:yhi, got '%s'\n",
+                   domain->c_str());
+      return std::nullopt;
     }
+    options.skeleton.x_domain = Interval((*v)[0], (*v)[1]);
+    options.skeleton.y_domain = Interval((*v)[2], (*v)[3]);
   }
   return options;
 }
@@ -183,7 +286,9 @@ IndexOptions OptionsFrom(const Args& args) {
 // command itself succeeds.
 Result<std::unique_ptr<IntervalIndex>> OpenIndex(const Args& args,
                                                  const std::string& file) {
-  auto opened = IntervalIndex::OpenFromDisk(file, OptionsFrom(args));
+  const auto options = OptionsFrom(args);
+  if (!options) return InvalidArgumentError("bad flag value");
+  auto opened = IntervalIndex::OpenFromDisk(file, *options);
   if (opened.ok()) {
     const storage::RecoveryReport& rec =
         (*opened)->pager()->recovery_report();
@@ -212,7 +317,9 @@ int CmdCreate(const Args& args, const std::string& file) {
     std::fprintf(stderr, "unknown kind: %s\n", kind_name->c_str());
     return 2;
   }
-  auto index = IntervalIndex::CreateOnDisk(*kind, file, OptionsFrom(args));
+  const auto options = OptionsFrom(args);
+  if (!options) return 1;
+  auto index = IntervalIndex::CreateOnDisk(*kind, file, *options);
   if (!index.ok()) {
     std::fprintf(stderr, "create failed: %s\n",
                  index.status().ToString().c_str());
@@ -300,7 +407,7 @@ int CmdQuery(const Args& args, const std::string& file) {
     return 2;
   }
   size_t limit = 20;
-  if (auto v = args.Get("limit")) limit = std::stoull(*v);
+  if (!GetSize(args, "limit", &limit)) return 1;
 
   auto opened = OpenIndex(args, file);
   if (!opened.ok()) {
@@ -346,10 +453,10 @@ int CmdStats(const Args& args, const std::string& file) {
   std::printf("height:  %d\n", index->height());
   std::printf("bytes:   %llu\n",
               static_cast<unsigned long long>(index->index_bytes()));
-  if (auto depth = args.Get("dump")) {
-    return index->tree()->DumpStructure(std::cout, std::stoi(*depth)).ok()
-               ? 0
-               : 1;
+  if (args.Get("dump")) {
+    int depth = 0;
+    if (!GetI32(args, "dump", &depth)) return 1;
+    return index->tree()->DumpStructure(std::cout, depth).ok() ? 0 : 1;
   }
   auto stats = index->tree()->CollectLevelStats();
   if (stats.ok()) {
@@ -413,9 +520,7 @@ int CmdCheck(const Args& args, const std::string& file) {
   options.strict_spanning_placement = flag("strict");
   options.check_spanning_quota = !flag("no-quota");
   options.check_page_accounting = !flag("no-pages");
-  if (auto v = args.Get("max-violations")) {
-    options.max_violations = std::stoull(*v);
-  }
+  if (!GetSize(args, "max-violations", &options.max_violations)) return 1;
 
   auto report = (*opened)->CheckStructure(options);
   if (!report.ok()) {
@@ -432,9 +537,11 @@ int CmdBenchParallel(const Args& args, const std::string& file) {
   double qar = 0.01;
   uint64_t seed = 42;
   std::vector<int> thread_counts = {1, 2, 4, 8};
-  if (auto v = args.Get("queries")) num_queries = std::stoull(*v);
-  if (auto v = args.Get("qar")) qar = std::stod(*v);
-  if (auto v = args.Get("seed")) seed = std::stoull(*v);
+  if (!GetSize(args, "queries", &num_queries, /*require_positive=*/true) ||
+      !GetF64(args, "qar", &qar, /*require_positive=*/true) ||
+      !GetU64(args, "seed", &seed)) {
+    return 1;
+  }
   if (auto v = args.Get("threads")) {
     thread_counts.clear();
     std::stringstream ss(*v);
@@ -544,9 +651,7 @@ int CmdScrub(const Args& args, const std::string& file) {
     return 1;
   }
   storage::ScrubOptions options;
-  if (auto v = args.Get("rate")) {
-    options.max_extents_per_second = std::stoull(*v);
-  }
+  if (!GetU64(args, "rate", &options.max_extents_per_second)) return 1;
   if (auto v = args.Get("no-quarantine"); v.has_value() && *v != "0") {
     options.quarantine_damaged = false;
   }
@@ -603,6 +708,74 @@ int CmdSalvage(const Args& args, const std::string& file) {
   return 0;
 }
 
+// SIGINT/SIGTERM ask `segidx serve` to shut down gracefully.
+volatile std::sig_atomic_t g_stop_serving = 0;
+
+void HandleStopSignal(int) { g_stop_serving = 1; }
+
+int CmdServe(const Args& args, const std::string& file) {
+  server::ServerOptions sopts;
+  if (auto v = args.Get("host")) sopts.host = *v;
+  uint64_t port = 0;
+  size_t max_batch = sopts.max_batch;
+  if (!GetU64(args, "port", &port) ||
+      !GetI32(args, "threads", &sopts.search_threads,
+              /*require_positive=*/true) ||
+      !GetI32(args, "writers", &sopts.write_threads,
+              /*require_positive=*/true) ||
+      !GetSize(args, "max-batch", &max_batch, /*require_positive=*/true) ||
+      !GetSize(args, "queue-depth", &sopts.max_queue_depth,
+               /*require_positive=*/true) ||
+      !GetI32(args, "max-inflight", &sopts.max_inflight_per_conn,
+              /*require_positive=*/true) ||
+      !GetU64(args, "commit-every", &sopts.commit_every) ||
+      !GetU64(args, "budget-us", &sopts.default_budget_us) ||
+      !GetU64(args, "scrub-interval-ms", &sopts.scrub_interval_ms) ||
+      !GetU64(args, "scrub-rate", &sopts.scrub_extents_per_second)) {
+    return 1;
+  }
+  if (port > 65535) {
+    std::fprintf(stderr, "--port: %llu is not a TCP port\n",
+                 static_cast<unsigned long long>(port));
+    return 1;
+  }
+  sopts.port = static_cast<uint16_t>(port);
+  sopts.max_batch = max_batch;
+
+  auto opened = OpenIndex(args, file);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  auto index = std::move(opened).value();
+
+  server::Server server(index.get(), sopts);
+  if (auto st = server.Start(); !st.ok()) {
+    std::fprintf(stderr, "serve failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  // Scripts (and the serving integration test) parse this line for the
+  // bound port, so flush it before blocking.
+  std::printf("serving %s on %s:%u\n", file.c_str(), sopts.host.c_str(),
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (!g_stop_serving) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::fprintf(stderr, "shutting down\n");
+  server.Stop();
+  if (auto st = index->Close(); !st.ok()) {
+    std::fprintf(stderr, "final checkpoint failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
 int CmdBenchResilience(const Args& args) {
   uint64_t num_records = 2000;
   size_t num_queries = 64;
@@ -611,20 +784,23 @@ int CmdBenchResilience(const Args& args) {
   uint64_t delay_us = 50;
   uint64_t deadline_us = 2000;
   uint64_t seed = 42;
-  if (auto v = args.Get("records")) num_records = std::stoull(*v);
-  if (auto v = args.Get("queries")) num_queries = std::stoull(*v);
-  if (auto v = args.Get("repeats")) repeats = std::stoull(*v);
-  if (auto v = args.Get("threads")) threads = std::stoi(*v);
-  if (auto v = args.Get("delay-us")) delay_us = std::stoull(*v);
-  if (auto v = args.Get("deadline-us")) deadline_us = std::stoull(*v);
-  if (auto v = args.Get("seed")) seed = std::stoull(*v);
+  if (!GetU64(args, "records", &num_records, /*require_positive=*/true) ||
+      !GetSize(args, "queries", &num_queries, /*require_positive=*/true) ||
+      !GetSize(args, "repeats", &repeats, /*require_positive=*/true) ||
+      !GetI32(args, "threads", &threads, /*require_positive=*/true) ||
+      !GetU64(args, "delay-us", &delay_us) ||
+      !GetU64(args, "deadline-us", &deadline_us) ||
+      !GetU64(args, "seed", &seed)) {
+    return 1;
+  }
 
   IndexOptions options;
   // A small pool forces physical reads, so the injected device latency is
   // actually felt by the search path.
   options.pager.buffer_pool_bytes = 16 * 1024;
-  if (auto v = args.Get("pool")) {
-    options.pager.buffer_pool_bytes = std::stoull(*v);
+  if (!GetSize(args, "pool", &options.pager.buffer_pool_bytes,
+               /*require_positive=*/true)) {
+    return 1;
   }
 
   auto device = std::make_unique<storage::FaultInjectingBlockDevice>(
@@ -738,10 +914,12 @@ int CmdBenchMixed(const Args& args) {
   int readers = 2;
   uint64_t commit_every = 1024;
   uint64_t seed = 42;
-  if (auto v = args.Get("records")) num_records = std::stoull(*v);
-  if (auto v = args.Get("readers")) readers = std::stoi(*v);
-  if (auto v = args.Get("commit-every")) commit_every = std::stoull(*v);
-  if (auto v = args.Get("seed")) seed = std::stoull(*v);
+  if (!GetU64(args, "records", &num_records, /*require_positive=*/true) ||
+      !GetI32(args, "readers", &readers, /*require_positive=*/true) ||
+      !GetU64(args, "commit-every", &commit_every) ||
+      !GetU64(args, "seed", &seed)) {
+    return 1;
+  }
 
   // Uniform intervals over the CLI bench domain (same family as the
   // paper's I1 workload).
@@ -926,15 +1104,18 @@ int CmdScrubTorture(const Args& args) {
     }
     options.kind = *kind;
   }
-  if (auto v = args.Get("records")) options.records = std::stoull(*v);
-  if (auto v = args.Get("rounds")) options.rounds = std::stoull(*v);
-  if (auto v = args.Get("corrupt")) {
-    options.max_corrupt_per_round = std::stoull(*v);
+  uint64_t seed = options.seed;
+  if (!GetU64(args, "records", &options.records,
+              /*require_positive=*/true) ||
+      !GetU64(args, "rounds", &options.rounds, /*require_positive=*/true) ||
+      !GetU64(args, "corrupt", &options.max_corrupt_per_round,
+              /*require_positive=*/true) ||
+      !GetU64(args, "seed", &seed) ||
+      !GetSize(args, "pool", &options.index.pager.buffer_pool_bytes,
+               /*require_positive=*/true)) {
+    return 1;
   }
-  if (auto v = args.Get("seed")) options.seed = std::stoul(*v);
-  if (auto v = args.Get("pool")) {
-    options.index.pager.buffer_pool_bytes = std::stoull(*v);
-  }
+  options.seed = static_cast<uint32_t>(seed);
   options.log_progress = !args.Get("quiet").has_value();
 
   auto report = torture::RunScrubTorture(options);
@@ -977,18 +1158,19 @@ int CmdTorture(const Args& args) {
     }
     options.kind = *kind;
   }
-  if (auto v = args.Get("records")) options.records = std::stoull(*v);
-  if (auto v = args.Get("checkpoint-every")) {
-    options.checkpoint_every = std::stoull(*v);
+  uint64_t seed = options.seed;
+  if (!GetU64(args, "records", &options.records,
+              /*require_positive=*/true) ||
+      !GetU64(args, "checkpoint-every", &options.checkpoint_every,
+              /*require_positive=*/true) ||
+      !GetSize(args, "tear", &options.tear_bytes) ||
+      !GetU64(args, "max-points", &options.max_fault_points) ||
+      !GetU64(args, "seed", &seed) ||
+      !GetSize(args, "pool", &options.index.pager.buffer_pool_bytes,
+               /*require_positive=*/true)) {
+    return 1;
   }
-  if (auto v = args.Get("tear")) options.tear_bytes = std::stoull(*v);
-  if (auto v = args.Get("max-points")) {
-    options.max_fault_points = std::stoull(*v);
-  }
-  if (auto v = args.Get("seed")) options.seed = std::stoul(*v);
-  if (auto v = args.Get("pool")) {
-    options.index.pager.buffer_pool_bytes = std::stoull(*v);
-  }
+  options.seed = static_cast<uint32_t>(seed);
   options.log_progress = !args.Get("quiet").has_value();
 
   auto report = torture::RunRecoveryTorture(options);
@@ -1042,5 +1224,6 @@ int main(int argc, char** argv) {
   }
   if (args->command == "scrub") return CmdScrub(*args, *file);
   if (args->command == "salvage") return CmdSalvage(*args, *file);
+  if (args->command == "serve") return CmdServe(*args, *file);
   return Usage();
 }

@@ -119,6 +119,7 @@ Status Server::Start() {
       wopts);
 
   stopping_.store(false, std::memory_order_relaxed);
+  scrub_cancel_.store(false, std::memory_order_relaxed);
   io_thread_ = std::thread(&Server::IoLoop, this);
   search_thread_ = std::thread(&Server::SearchLoop, this);
   write_thread_ = std::thread(&Server::WriteLoop, this);
@@ -131,7 +132,16 @@ Status Server::Start() {
 
 void Server::Stop() {
   if (!started_) return;
-  stopping_.store(true, std::memory_order_seq_cst);
+  {
+    // Store the predicate under queue_mu_ so it cannot land inside a
+    // dispatcher's check-to-wait window: a waiter either sees the flag
+    // before sleeping or is already in Wait when the notify arrives.
+    TrackedMutexLock lock(&queue_mu_, LockClass::kServerQueue);
+    stopping_.store(true, std::memory_order_seq_cst);
+  }
+  // Abort an in-flight scrub pass: rate-limited scrubs over a large index
+  // would otherwise pin scrub_thread_.join() for a very long time.
+  scrub_cancel_.store(true, std::memory_order_relaxed);
   // Wake everyone: dispatchers drain their queues and exit; the I/O
   // thread returns from epoll_wait and stops reading.
   search_cv_.NotifyAll();
@@ -153,12 +163,12 @@ void Server::Stop() {
   // status: a read-only (degraded / format-v1) index legitimately refuses.
   (void)index_->Commit();
 
+  // Any connection still in the map never went through CloseConnection,
+  // so its fd is open even if a dispatcher already marked it closed.
   for (auto& [fd, conn] : connections_) {
     TrackedMutexLock lock(&conn->write_mu, LockClass::kServerConn);
-    if (!conn->closed) {
-      conn->closed = true;
-      close(conn->fd);
-    }
+    conn->closed = true;
+    close(conn->fd);
   }
   connections_.clear();
   close(listen_fd_);
@@ -223,12 +233,12 @@ void Server::AcceptConnections() {
 void Server::CloseConnection(const std::shared_ptr<Connection>& conn) {
   epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
   // Close under the write mutex so no dispatcher can write to a reused fd
-  // number: writers re-check `closed` under the same lock.
+  // number: writers re-check `closed` under the same lock. The close is
+  // unconditional — `closed` may already be set by SendResponse's failure
+  // path, which shuts the socket down but leaves the fd open for us.
   TrackedMutexLock lock(&conn->write_mu, LockClass::kServerConn);
-  if (!conn->closed) {
-    conn->closed = true;
-    close(conn->fd);
-  }
+  conn->closed = true;
+  close(conn->fd);
   connections_active_.fetch_sub(1, std::memory_order_relaxed);
 }
 
@@ -612,7 +622,6 @@ void Server::ExecuteWrites(std::vector<PendingWrite> work) {
 // --- Background scrub -------------------------------------------------------
 
 void Server::ScrubLoop() {
-  std::atomic<bool> cancel{false};
   for (;;) {
     {
       TrackedMutexLock lock(&queue_mu_, LockClass::kServerQueue);
@@ -627,7 +636,7 @@ void Server::ScrubLoop() {
     scrub_running_.store(true, std::memory_order_relaxed);
     storage::ScrubOptions sopts;
     sopts.max_extents_per_second = options_.scrub_extents_per_second;
-    sopts.cancel_token = &cancel;
+    sopts.cancel_token = &scrub_cancel_;
     auto report = index_->Scrub(sopts);
     scrub_running_.store(false, std::memory_order_relaxed);
     if (report.ok()) {
@@ -671,11 +680,14 @@ void Server::SendResponse(const std::shared_ptr<Connection>& conn,
       if (poll(&pfd, 1, kWriteStallTimeoutMs) > 0) continue;
     }
     // Stalled or dead peer: stop writing and let the I/O thread reap the
-    // connection (shutdown() wakes its epoll with EPOLLHUP).
+    // connection — shutdown() wakes its epoll with EPOLLHUP/EPOLLIN on
+    // the still-registered fd. Never close() here: the fd must stay
+    // allocated until the I/O thread erases the Connection, or a new
+    // accept() could reuse the number while the stale entry still owns
+    // its connections_ slot.
     send_failures_.fetch_add(1, std::memory_order_relaxed);
     conn->closed = true;
     shutdown(conn->fd, SHUT_RDWR);
-    close(conn->fd);
     return;
   }
   responses_.fetch_add(1, std::memory_order_relaxed);

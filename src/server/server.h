@@ -155,9 +155,14 @@ class Server {
 
   struct Connection {
     int fd = -1;
-    // Serializes frame writes; also guards the closed flag so no thread
-    // writes to (or past) a closed fd. Strict leaf lock.
+    // Serializes frame writes; also guards the closed flag. Strict leaf
+    // lock.
     common::Mutex write_mu;
+    // No more writes allowed. Dispatchers may set this (after a send
+    // failure they shutdown() the socket but leave the fd open); only the
+    // I/O thread — or Stop() after joining it — actually close()s the fd,
+    // so a dead connection's fd number cannot be reused while its entry
+    // is still in connections_.
     bool closed GUARDED_BY(write_mu) = false;
     // Requests accepted but not yet answered (quota).
     std::atomic<int> inflight{0};
@@ -221,6 +226,8 @@ class Server {
   bool started_ = false;
 
   std::atomic<bool> stopping_{false};
+  // Cancels an in-flight scrub pass promptly on Stop().
+  std::atomic<bool> scrub_cancel_{false};
 
   // Request queues. queue_mu_ is a strict leaf: dispatchers move work out
   // under it, release it, then touch the index / sockets.

@@ -33,6 +33,8 @@ const char* LockClassName(LockClass cls) {
       return "Server queue mutex";
     case LockClass::kServerConn:
       return "Server connection write mutex";
+    case LockClass::kServerDedup:
+      return "Server dedup-window mutex";
     case LockClass::kClassCount:
       break;
   }

@@ -61,6 +61,9 @@ enum class LockClass : int {
                     // Strict leaf: never held across index calls or sends.
   kServerConn,      // server::Connection write mutex (frames out whole).
                     // Strict leaf: held only across the socket write.
+  kServerDedup,     // server::DedupWindow map mutex. Leaf: taken alone by
+                    // the write dispatcher / I/O thread, and under the
+                    // exclusive phase by the commit-meta hook.
   kClassCount,
 };
 

@@ -20,6 +20,13 @@ using check::TrackedMutexLock;
 // area: magic "CO", index kind, skeleton-built flag.
 constexpr size_t kCoreMetaBytes = 4;
 
+// Optional commit-metadata blob framed between the tree metadata and the
+// facade tail: [blob][u16 blob_len LE]['X']['M']. The frame sits directly
+// before the facade tail so OpenWithPager can parse backward from the
+// validated "CO" magic; files written before the extension simply lack the
+// "XM" marker.
+constexpr size_t kExtraMetaFrameBytes = 4;
+
 Status AppendCoreMeta(storage::Pager* pager, IndexKind kind, bool built) {
   std::vector<uint8_t> meta = pager->user_meta();
   meta.push_back('C');
@@ -29,7 +36,50 @@ Status AppendCoreMeta(storage::Pager* pager, IndexKind kind, bool built) {
   return pager->SetUserMeta(meta.data(), meta.size());
 }
 
+Status AppendExtraMeta(storage::Pager* pager,
+                       const std::vector<uint8_t>& blob) {
+  if (blob.size() > IntervalIndex::CommitMetaCapacity()) {
+    return InvalidArgumentError(
+        "commit-metadata blob exceeds the user-meta budget (" +
+        std::to_string(blob.size()) + " > " +
+        std::to_string(IntervalIndex::CommitMetaCapacity()) + " bytes)");
+  }
+  std::vector<uint8_t> meta = pager->user_meta();
+  meta.insert(meta.end(), blob.begin(), blob.end());
+  const uint16_t len = static_cast<uint16_t>(blob.size());
+  meta.push_back(static_cast<uint8_t>(len & 0xff));
+  meta.push_back(static_cast<uint8_t>(len >> 8));
+  meta.push_back('X');
+  meta.push_back('M');
+  return pager->SetUserMeta(meta.data(), meta.size());
+}
+
+// Recovers the blob from the bytes before the facade tail; returns an
+// empty vector when no frame is present (pre-extension file).
+std::vector<uint8_t> ParseExtraMeta(const std::vector<uint8_t>& meta,
+                                    size_t core_tail) {
+  if (core_tail < kExtraMetaFrameBytes) return {};
+  if (meta[core_tail - 2] != 'X' || meta[core_tail - 1] != 'M') return {};
+  const size_t len = static_cast<size_t>(meta[core_tail - 4]) |
+                     (static_cast<size_t>(meta[core_tail - 3]) << 8);
+  if (len > core_tail - kExtraMetaFrameBytes) return {};
+  const size_t begin = core_tail - kExtraMetaFrameBytes - len;
+  return std::vector<uint8_t>(meta.begin() + static_cast<long>(begin),
+                              meta.begin() + static_cast<long>(begin + len));
+}
+
 }  // namespace
+
+size_t IntervalIndex::CommitMetaCapacity() {
+  // User-meta budget minus the tree metadata, the blob frame, and the
+  // facade tail.
+  return storage::Pager::kUserMetaCapacity - rtree::RTree::kTreeMetaBytes -
+         kExtraMetaFrameBytes - kCoreMetaBytes;
+}
+
+void IntervalIndex::SetCommitMetaHook(CommitMetaHook hook) {
+  commit_meta_hook_ = std::move(hook);
+}
 
 const char* IndexKindName(IndexKind kind) {
   switch (kind) {
@@ -141,8 +191,11 @@ Result<std::unique_ptr<IntervalIndex>> IntervalIndex::OpenWithPager(
   if (IsSkeleton(kind)) {
     skel = skeleton::SkeletonIndex::Resume(tree.get(), options.skeleton);
   }
-  return std::unique_ptr<IntervalIndex>(new IntervalIndex(
+  std::vector<uint8_t> extra = ParseExtraMeta(meta, tail);
+  auto index = std::unique_ptr<IntervalIndex>(new IntervalIndex(
       kind, std::move(pager), std::move(tree), std::move(skel)));
+  index->recovered_commit_meta_ = std::move(extra);
+  return index;
 }
 
 Status IntervalIndex::CheckWritable() const {
@@ -295,6 +348,12 @@ Status IntervalIndex::Commit() {
     rtree::PhaseGate::Scope gate(&tree_->phase_gate(),
                                  rtree::PhaseGate::Mode::kExclusive);
     SEGIDX_RETURN_IF_ERROR(tree_->SaveMeta());
+    if (commit_meta_hook_ != nullptr) {
+      // The hook's blob rides the same checkpoint as the data it
+      // describes: a failed checkpoint persists neither.
+      SEGIDX_RETURN_IF_ERROR(
+          AppendExtraMeta(pager_.get(), commit_meta_hook_()));
+    }
     SEGIDX_RETURN_IF_ERROR(AppendCoreMeta(
         pager_.get(), kind_, skeleton_ == nullptr || skeleton_->built()));
     SEGIDX_RETURN_IF_ERROR(pager_->Checkpoint());

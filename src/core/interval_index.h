@@ -29,6 +29,7 @@
 #define SEGIDX_CORE_INTERVAL_INDEX_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -226,6 +227,27 @@ class IntervalIndex {
   rtree::RTree* tree() { return tree_.get(); }
   storage::Pager* pager() { return pager_.get(); }
 
+  // Commit-metadata hook: a small blob the owner wants persisted
+  // atomically with every checkpoint (the serving layer stores its
+  // exactly-once dedup window here). The hook runs inside the commit's
+  // exclusive phase, after tree metadata is staged and before the
+  // checkpoint, so the blob and the data it describes land in the same
+  // durable epoch — or neither does. The blob is size-limited (see
+  // kCommitMetaCapacity); an oversized blob fails the commit. Set (or
+  // clear with nullptr) only while no concurrent Commit/Close can run.
+  using CommitMetaHook = std::function<std::vector<uint8_t>()>;
+  void SetCommitMetaHook(CommitMetaHook hook);
+
+  // The commit-metadata blob recovered by OpenFromDisk/OpenFromDevice
+  // (empty when the file carries none, e.g. pre-extension files).
+  const std::vector<uint8_t>& recovered_commit_meta() const {
+    return recovered_commit_meta_;
+  }
+
+  // Upper bound on a commit-metadata blob: the pager's user-meta area
+  // minus the tree metadata, the blob's own frame, and the facade tail.
+  static size_t CommitMetaCapacity();
+
  private:
   IntervalIndex(IndexKind kind, std::unique_ptr<storage::Pager> pager,
                 std::unique_ptr<rtree::RTree> tree,
@@ -251,6 +273,9 @@ class IntervalIndex {
   std::unique_ptr<skeleton::SkeletonIndex> skeleton_;  // Skeleton kinds only.
   // Lazily created by SearchBatch; rebuilt when the thread count changes.
   std::unique_ptr<exec::QueryEngine> engine_;
+  // Invoked under the commit's exclusive phase; see SetCommitMetaHook.
+  CommitMetaHook commit_meta_hook_;
+  std::vector<uint8_t> recovered_commit_meta_;
   // Serializes skeleton sample buffering / finalize (plain memory, unlike
   // the tree's own latched write path). Uncontended for built skeletons.
   // Lock order: held while entering the tree's phase gate (a buffered

@@ -32,13 +32,18 @@ WritePool::~WritePool() {
   for (std::thread& w : workers_) w.join();
 }
 
-Status WritePool::ApplyBatch(const std::vector<WriteOp>& ops) {
+Status WritePool::ApplyBatch(const std::vector<WriteOp>& ops,
+                             std::vector<WriteOpResult>* results) {
+  if (results != nullptr) {
+    results->assign(ops.size(), WriteOpResult{});
+  }
   if (ops.empty()) return Status::OK();
 
   Status status;
   {
     TrackedMutexLock lock(&mu_, LockClass::kExecPool);
     ops_ = &ops;
+    results_ = results;
     batch_status_ = Status::OK();
     next_.store(0, std::memory_order_relaxed);
     failed_.store(false, std::memory_order_relaxed);
@@ -47,6 +52,7 @@ Status WritePool::ApplyBatch(const std::vector<WriteOp>& ops) {
     work_cv_.NotifyAll();
     while (active_workers_ != 0) done_cv_.Wait(&mu_);
     ops_ = nullptr;
+    results_ = nullptr;
     status = batch_status_;
   }
 
@@ -64,12 +70,14 @@ void WritePool::WorkerLoop() {
   uint64_t seen_gen = 0;
   for (;;) {
     const std::vector<WriteOp>* ops;
+    std::vector<WriteOpResult>* results;
     {
       TrackedMutexLock lock(&mu_, LockClass::kExecPool);
       while (!stop_ && generation_ == seen_gen) work_cv_.Wait(&mu_);
       if (stop_) return;
       seen_gen = generation_;
       ops = ops_;
+      results = results_;
     }
 
     uint64_t applied = 0;
@@ -82,9 +90,16 @@ void WritePool::WorkerLoop() {
       const WriteOp& op = (*ops)[i];
       Status status = tree_->Insert(op.rect, op.tid);
       if (!status.ok()) {
+        if (results != nullptr) {
+          (*results)[i].outcome = WriteOpResult::Outcome::kFailed;
+          (*results)[i].status = status;
+        }
         first_error = std::move(status);
         failed_.store(true, std::memory_order_relaxed);
         break;
+      }
+      if (results != nullptr) {
+        (*results)[i].outcome = WriteOpResult::Outcome::kApplied;
       }
       ++applied;
       // Commit cadence: concurrent workers hitting this together are

@@ -51,6 +51,17 @@ struct WriteOp {
   TupleId tid = 0;
 };
 
+// Per-operation verdict of a batch (see ApplyBatch's `results`). Gives the
+// caller a determinate outcome for every operation even when the batch
+// short-circuits: an op either reached the tree (kApplied), failed inside
+// the tree (kFailed, with its status), or was never claimed because a
+// neighbor failed first (kSkipped — safe to retry as-is).
+struct WriteOpResult {
+  enum class Outcome : uint8_t { kSkipped = 0, kApplied, kFailed };
+  Outcome outcome = Outcome::kSkipped;
+  Status status;  // kFailed: the insert's error. Otherwise OK.
+};
+
 class WritePool {
  public:
   // The tree (and its pager) must outlive the pool. `commit` may be empty
@@ -67,8 +78,12 @@ class WritePool {
   // on return. On the first failed insert the batch short-circuits:
   // remaining unclaimed operations are skipped and the error is returned.
   // Which operations were applied before a failure is unspecified beyond
-  // "every operation claimed before the failure was attempted".
-  Status ApplyBatch(const std::vector<WriteOp>& ops);
+  // "every operation claimed before the failure was attempted" — unless
+  // `results` is passed, in which case it is resized to ops.size() and
+  // filled with each operation's determinate outcome (workers write
+  // disjoint slots; the vector is complete when ApplyBatch returns).
+  Status ApplyBatch(const std::vector<WriteOp>& ops,
+                    std::vector<WriteOpResult>* results = nullptr);
 
   // Operations successfully applied across all batches so far.
   uint64_t total_applied() const {
@@ -92,6 +107,9 @@ class WritePool {
   bool stop_ GUARDED_BY(mu_) = false;
   // Current batch.
   const std::vector<WriteOp>* ops_ GUARDED_BY(mu_) = nullptr;
+  // Per-op outcome slots for the current batch (null when the caller did
+  // not ask). Workers write only the slots of the ops they claimed.
+  std::vector<WriteOpResult>* results_ GUARDED_BY(mu_) = nullptr;
   // First error of the current batch.
   Status batch_status_ GUARDED_BY(mu_);
   // Workers still in the current batch.

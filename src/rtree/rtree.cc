@@ -19,7 +19,7 @@ using LatchOrigin = NodeLatchTable::LatchOrigin;
 
 constexpr uint32_t kTreeMetaMagic = 0x54524545;  // "TREE"
 constexpr uint16_t kTreeMetaVersion = 1;
-constexpr size_t kTreeMetaBytes = 74;
+constexpr size_t kTreeMetaBytes = RTree::kTreeMetaBytes;
 
 // Safety valve against pathological reinsertion cascades.
 constexpr int kMaxReinsertIterations = 1 << 20;

@@ -178,6 +178,11 @@ struct SkeletonSpec {
 
 class RTree {
  public:
+  // Exact size of the metadata record SaveMeta() writes at the head of the
+  // pager's user-meta area. Owners that append their own metadata after it
+  // (core::IntervalIndex) budget against this.
+  static constexpr size_t kTreeMetaBytes = 74;
+
   // Creates an empty tree on a freshly formatted pager. The pager must
   // outlive the tree.
   static Result<std::unique_ptr<RTree>> Create(storage::Pager* pager,

@@ -9,6 +9,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "server/faulty_transport.h"
+
 namespace segidx::server {
 
 Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
@@ -52,7 +54,7 @@ Status Client::SendFrame(const std::vector<uint8_t>& payload) {
   size_t sent = 0;
   while (sent < frame.size()) {
     const ssize_t n =
-        write(fd_, frame.data() + sent, frame.size() - sent);
+        transport::Write(fd_, frame.data() + sent, frame.size() - sent);
     if (n < 0) {
       if (errno == EINTR) continue;
       return IoError(std::string("send: ") + strerror(errno));
@@ -66,7 +68,7 @@ Status Client::ReadResponse(Response* out) {
   auto read_exact = [this](uint8_t* dst, size_t n) -> Status {
     size_t got = 0;
     while (got < n) {
-      const ssize_t r = read(fd_, dst + got, n - got);
+      const ssize_t r = transport::Read(fd_, dst + got, n - got);
       if (r < 0) {
         if (errno == EINTR) continue;
         return IoError(std::string("recv: ") + strerror(errno));
@@ -155,6 +157,46 @@ Result<std::string> Client::Health() {
       RoundTrip(EncodeSimpleRequest(MsgType::kHealth, id), id, &resp));
   if (!resp.ToStatus().ok()) return resp.ToStatus();
   return std::string(resp.body.begin(), resp.body.end());
+}
+
+Status Client::Insert(const Rect& rect, TupleId tid, uint64_t session_id,
+                      uint64_t seq) {
+  const uint64_t id = next_id_++;
+  Response resp;
+  SEGIDX_RETURN_IF_ERROR(RoundTrip(
+      EncodeWriteRequest(MsgType::kInsert, id, rect, tid, session_id, seq),
+      id, &resp));
+  return resp.ToStatus();
+}
+
+Status Client::Delete(const Rect& rect, TupleId tid, uint64_t session_id,
+                      uint64_t seq) {
+  const uint64_t id = next_id_++;
+  Response resp;
+  SEGIDX_RETURN_IF_ERROR(RoundTrip(
+      EncodeWriteRequest(MsgType::kDelete, id, rect, tid, session_id, seq),
+      id, &resp));
+  return resp.ToStatus();
+}
+
+Status Client::Commit(uint64_t session_id, uint64_t seq) {
+  const uint64_t id = next_id_++;
+  Response resp;
+  SEGIDX_RETURN_IF_ERROR(RoundTrip(
+      EncodeCommitRequest(id, session_id, seq), id, &resp));
+  return resp.ToStatus();
+}
+
+Status Client::Hello(uint64_t session_id, HelloReply* reply) {
+  const uint64_t id = next_id_++;
+  Response resp;
+  SEGIDX_RETURN_IF_ERROR(
+      RoundTrip(EncodeHelloRequest(id, session_id), id, &resp));
+  if (!resp.ToStatus().ok()) return resp.ToStatus();
+  if (!DecodeHelloBody(resp.body, reply)) {
+    return CorruptionError("malformed hello body");
+  }
+  return Status::OK();
 }
 
 Result<uint64_t> Client::SendSearch(const Rect& rect, uint64_t budget_us,

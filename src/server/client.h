@@ -42,6 +42,22 @@ class Client {
   Result<std::string> Stats();
   Result<std::string> Health();
 
+  // Session-tagged variants (exactly-once): the server dedups on
+  // (session_id, seq), so resending the same pair after a reconnect
+  // replays the original verdict instead of re-applying. session_id must
+  // be nonzero; seq must be strictly increasing within the session.
+  // RetryingClient drives these; call them directly only when managing
+  // retries by hand.
+  Status Insert(const Rect& rect, TupleId tid, uint64_t session_id,
+                uint64_t seq);
+  Status Delete(const Rect& rect, TupleId tid, uint64_t session_id,
+                uint64_t seq);
+  Status Commit(uint64_t session_id, uint64_t seq);
+
+  // Version/session handshake: reports the server's protocol version and
+  // the session's highest resolved sequence number (0 if unknown).
+  Status Hello(uint64_t session_id, HelloReply* reply);
+
   // Pipelining primitives. Each Send* picks and returns a fresh
   // request_id; ReadResponse returns the next response frame off the wire
   // (completion order — match on Response::request_id).

@@ -1,0 +1,149 @@
+#include "server/dedup_window.h"
+
+#include <algorithm>
+
+#include "check/lock_order.h"
+
+namespace segidx::server {
+
+namespace {
+using check::LockClass;
+using check::TrackedMutexLock;
+
+constexpr uint8_t kDedupVersion = 1;
+constexpr size_t kHeaderBytes = 4;   // 'D' 'W' version count.
+constexpr size_t kEntryBytes = 17;   // session + seq + code.
+}  // namespace
+
+DedupWindow::Lru::iterator DedupWindow::Touch(uint64_t session_id) {
+  auto it = index_.find(session_id);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return lru_.begin();
+  }
+  lru_.push_front(Entry{session_id, Verdict{}});
+  index_[session_id] = lru_.begin();
+  while (lru_.size() > max_sessions_) {
+    index_.erase(lru_.back().session_id);
+    lru_.pop_back();
+  }
+  return lru_.begin();
+}
+
+std::optional<DedupWindow::Verdict> DedupWindow::Check(uint64_t session_id,
+                                                       uint64_t seq) {
+  TrackedMutexLock lock(&mu_, LockClass::kServerDedup);
+  auto it = index_.find(session_id);
+  if (it == index_.end()) return std::nullopt;
+  // A duplicate check is activity: keep live sessions off the LRU tail.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  const Verdict& v = lru_.front().verdict;
+  if (seq > v.seq) return std::nullopt;
+  return v;
+}
+
+std::optional<DedupWindow::Verdict> DedupWindow::Record(uint64_t session_id,
+                                                        uint64_t seq,
+                                                        StatusCode code) {
+  TrackedMutexLock lock(&mu_, LockClass::kServerDedup);
+  std::optional<Verdict> previous;
+  if (auto it = index_.find(session_id); it != index_.end()) {
+    previous = it->second->verdict;
+  }
+  Touch(session_id)->verdict = Verdict{seq, code};
+  return previous;
+}
+
+void DedupWindow::Restore(uint64_t session_id,
+                          std::optional<Verdict> previous) {
+  TrackedMutexLock lock(&mu_, LockClass::kServerDedup);
+  auto it = index_.find(session_id);
+  if (!previous.has_value()) {
+    if (it != index_.end()) {
+      lru_.erase(it->second);
+      index_.erase(it);
+    }
+    return;
+  }
+  Touch(session_id)->verdict = *previous;
+}
+
+uint64_t DedupWindow::LastSeq(uint64_t session_id) const {
+  TrackedMutexLock lock(&mu_, LockClass::kServerDedup);
+  auto it = index_.find(session_id);
+  return it == index_.end() ? 0 : it->second->verdict.seq;
+}
+
+size_t DedupWindow::session_count() const {
+  TrackedMutexLock lock(&mu_, LockClass::kServerDedup);
+  return lru_.size();
+}
+
+std::vector<uint8_t> DedupWindow::Serialize() const {
+  TrackedMutexLock lock(&mu_, LockClass::kServerDedup);
+  const size_t count = std::min(lru_.size(), kMaxPersistedSessions);
+  std::vector<uint8_t> out;
+  out.reserve(kHeaderBytes + count * kEntryBytes);
+  out.push_back('D');
+  out.push_back('W');
+  out.push_back(kDedupVersion);
+  out.push_back(static_cast<uint8_t>(count));
+  size_t emitted = 0;
+  for (const Entry& e : lru_) {
+    if (emitted == count) break;
+    for (int shift = 0; shift < 64; shift += 8) {
+      out.push_back(static_cast<uint8_t>(e.session_id >> shift));
+    }
+    for (int shift = 0; shift < 64; shift += 8) {
+      out.push_back(static_cast<uint8_t>(e.verdict.seq >> shift));
+    }
+    out.push_back(static_cast<uint8_t>(e.verdict.code));
+    ++emitted;
+  }
+  return out;
+}
+
+Status DedupWindow::Load(const std::vector<uint8_t>& blob) {
+  TrackedMutexLock lock(&mu_, LockClass::kServerDedup);
+  if (blob.empty()) {
+    lru_.clear();
+    index_.clear();
+    return Status::OK();
+  }
+  if (blob.size() < kHeaderBytes || blob[0] != 'D' || blob[1] != 'W') {
+    return CorruptionError("bad dedup-window magic");
+  }
+  if (blob[2] != kDedupVersion) {
+    return CorruptionError("unknown dedup-window version " +
+                           std::to_string(blob[2]));
+  }
+  const size_t count = blob[3];
+  if (blob.size() != kHeaderBytes + count * kEntryBytes) {
+    return CorruptionError("dedup-window size does not match its count");
+  }
+  Lru lru;
+  std::unordered_map<uint64_t, Lru::iterator> index;
+  const uint8_t* p = blob.data() + kHeaderBytes;
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t session = 0;
+    uint64_t seq = 0;
+    for (int shift = 0; shift < 64; shift += 8) {
+      session |= static_cast<uint64_t>(*p++) << shift;
+    }
+    for (int shift = 0; shift < 64; shift += 8) {
+      seq |= static_cast<uint64_t>(*p++) << shift;
+    }
+    const StatusCode code = static_cast<StatusCode>(*p++);
+    if (session == 0 || index.count(session) != 0) {
+      return CorruptionError("dedup-window entry has a bad session id");
+    }
+    // Serialize emits newest first; rebuild the same recency order.
+    lru.push_back(Entry{session, Verdict{seq, code}});
+    index[session] = std::prev(lru.end());
+  }
+  lru_ = std::move(lru);
+  index_ = std::move(index);
+  return Status::OK();
+}
+
+}  // namespace segidx::server

@@ -1,0 +1,109 @@
+// Bounded per-session dedup window for the exactly-once write protocol.
+//
+// The server records, for every client session, the last sequence number
+// it resolved and the verdict it acknowledged. A retried (session, seq) —
+// after a reconnect, or after a server crash-restart — is answered from
+// the window instead of re-applied. The window is serialized into the
+// index's commit metadata by the server's commit-meta hook, so it is
+// persisted atomically with every checkpoint: the durable window always
+// describes exactly the durable data.
+//
+// Bounds: in memory the window keeps the most recently active
+// `max_sessions` sessions (LRU eviction); on disk it persists at most
+// kMaxPersistedSessions of those, newest first, to fit the pager's
+// user-meta budget. An evicted session's retry is re-applied — the client
+// contract (one in-flight mutation per session, strict round trips) makes
+// that reachable only after a session has been idle far longer than any
+// retry horizon.
+//
+// Serialized layout (little-endian):
+//
+//   'D' 'W' u8 version(1) u8 count
+//   count x { u64 session_id, u64 last_seq, u8 status_code }
+//
+// Thread safety: all methods lock the internal mutex
+// (LockClass::kServerDedup, a leaf — taken alone by the dispatcher and
+// I/O threads, and under the commit's exclusive phase by the hook).
+
+#ifndef SEGIDX_SERVER_DEDUP_WINDOW_H_
+#define SEGIDX_SERVER_DEDUP_WINDOW_H_
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace segidx::server {
+
+class DedupWindow {
+ public:
+  // Most sessions one checkpoint can persist: 4-byte header plus 17 bytes
+  // per entry must fit the commit-metadata budget (430 bytes today).
+  static constexpr size_t kMaxPersistedSessions = 24;
+
+  struct Verdict {
+    uint64_t seq = 0;
+    StatusCode code = StatusCode::kOk;
+  };
+
+  explicit DedupWindow(size_t max_sessions = 64)
+      : max_sessions_(max_sessions == 0 ? 1 : max_sessions) {}
+
+  DedupWindow(const DedupWindow&) = delete;
+  DedupWindow& operator=(const DedupWindow&) = delete;
+
+  // The duplicate check: a verdict when `seq` is at or below the session's
+  // recorded sequence (the request was already resolved — acknowledge from
+  // the window), nullopt when it is fresh and must be processed.
+  std::optional<Verdict> Check(uint64_t session_id, uint64_t seq);
+
+  // Records `seq` as the session's last resolved sequence with the verdict
+  // that was (or will be) acknowledged, and returns the session's previous
+  // verdict (nullopt for a new session) so a failed commit can roll back
+  // with Restore(). Recording an already-recorded seq overwrites the
+  // verdict in place.
+  std::optional<Verdict> Record(uint64_t session_id, uint64_t seq,
+                                StatusCode code);
+
+  // Reverts a session to a previous verdict (nullopt erases it): the
+  // rollback half of record-then-commit when the commit fails.
+  void Restore(uint64_t session_id, std::optional<Verdict> previous);
+
+  // The session's last recorded sequence (0 when unknown) — the kHello
+  // resynchronization answer.
+  uint64_t LastSeq(uint64_t session_id) const;
+
+  size_t session_count() const;
+
+  // Serializes the most recently active sessions, newest first, capped at
+  // kMaxPersistedSessions.
+  std::vector<uint8_t> Serialize() const;
+
+  // Replaces the window with a previously serialized image. An empty blob
+  // clears the window; a malformed blob fails without modifying it.
+  Status Load(const std::vector<uint8_t>& blob);
+
+ private:
+  struct Entry {
+    uint64_t session_id = 0;
+    Verdict verdict;
+  };
+  using Lru = std::list<Entry>;  // Front = most recently active.
+
+  // Moves (or inserts) the session to the LRU front and returns its entry.
+  Lru::iterator Touch(uint64_t session_id) REQUIRES(mu_);
+
+  const size_t max_sessions_;
+  mutable common::Mutex mu_;
+  Lru lru_ GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, Lru::iterator> index_ GUARDED_BY(mu_);
+};
+
+}  // namespace segidx::server
+
+#endif  // SEGIDX_SERVER_DEDUP_WINDOW_H_

@@ -1,0 +1,126 @@
+#include "server/faulty_transport.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "common/random.h"
+
+namespace segidx::server::transport {
+
+namespace {
+
+// One decision per wrapped call, drawn under a plain mutex so concurrent
+// connections share a single deterministic stream. The fast path (no plan
+// installed) is one relaxed atomic load.
+std::atomic<bool> g_enabled{false};
+std::atomic<uint64_t> g_injected{0};
+
+std::mutex& PlanMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+FaultPlan& PlanLocked() {
+  static FaultPlan plan;
+  return plan;
+}
+
+Rng& RngLocked() {
+  static Rng rng(1);
+  return rng;
+}
+
+struct Decision {
+  bool reset = false;
+  uint32_t delay_us = 0;
+  size_t short_write_at = 0;  // 0 = full write.
+};
+
+Decision Roll(bool is_write, size_t n) {
+  Decision d;
+  std::lock_guard<std::mutex> lock(PlanMutex());
+  const FaultPlan& plan = PlanLocked();
+  Rng& rng = RngLocked();
+  if (rng.NextDouble() < plan.reset_prob) {
+    d.reset = true;
+    return d;
+  }
+  if (plan.max_delay_us > 0 && rng.NextDouble() < plan.delay_prob) {
+    d.delay_us = static_cast<uint32_t>(
+        rng.UniformInt(1, static_cast<int64_t>(plan.max_delay_us)));
+  }
+  if (is_write && n > 1 && rng.NextDouble() < plan.short_write_prob) {
+    d.short_write_at =
+        static_cast<size_t>(rng.UniformInt(1, static_cast<int64_t>(n - 1)));
+  }
+  return d;
+}
+
+}  // namespace
+
+void InstallFaultPlan(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(PlanMutex());
+  PlanLocked() = plan;
+  RngLocked() = Rng(plan.seed);
+  g_injected.store(0, std::memory_order_relaxed);
+  g_enabled.store(true, std::memory_order_release);
+}
+
+void ClearFaultPlan() { g_enabled.store(false, std::memory_order_release); }
+
+bool FaultsEnabled() {
+  return g_enabled.load(std::memory_order_acquire);
+}
+
+uint64_t FaultsInjected() {
+  return g_injected.load(std::memory_order_relaxed);
+}
+
+ssize_t Read(int fd, void* buf, size_t n) {
+  if (!FaultsEnabled()) return ::read(fd, buf, n);
+  const Decision d = Roll(/*is_write=*/false, n);
+  if (d.reset) {
+    g_injected.fetch_add(1, std::memory_order_relaxed);
+    ::shutdown(fd, SHUT_RDWR);
+    errno = ECONNRESET;
+    return -1;
+  }
+  if (d.delay_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(d.delay_us));
+  }
+  return ::read(fd, buf, n);
+}
+
+ssize_t Write(int fd, const void* buf, size_t n) {
+  // MSG_NOSIGNAL even on the clean path: a peer that vanished mid-write
+  // must surface as EPIPE, never as a process-killing SIGPIPE.
+  if (!FaultsEnabled()) return ::send(fd, buf, n, MSG_NOSIGNAL);
+  const Decision d = Roll(/*is_write=*/true, n);
+  if (d.reset) {
+    g_injected.fetch_add(1, std::memory_order_relaxed);
+    ::shutdown(fd, SHUT_RDWR);
+    errno = ECONNRESET;
+    return -1;
+  }
+  if (d.delay_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(d.delay_us));
+  }
+  if (d.short_write_at > 0) {
+    // Torn frame: the prefix reaches the peer, then the connection dies.
+    g_injected.fetch_add(1, std::memory_order_relaxed);
+    const ssize_t sent = ::send(fd, buf, d.short_write_at, MSG_NOSIGNAL);
+    ::shutdown(fd, SHUT_RDWR);
+    if (sent > 0) return sent;
+    errno = ECONNRESET;
+    return -1;
+  }
+  return ::send(fd, buf, n, MSG_NOSIGNAL);
+}
+
+}  // namespace segidx::server::transport

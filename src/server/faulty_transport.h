@@ -1,0 +1,56 @@
+// Network fault injection for the serving layer: the socket-transport twin
+// of storage::FaultInjectingBlockDevice.
+//
+// Server and client I/O go through transport::Read/Write below. Normally
+// they are plain read(2)/write(2); once a FaultPlan is installed they
+// probabilistically inject the failure modes real networks produce:
+//
+//   * connection resets — the fd is shut down and the call fails with
+//     ECONNRESET, killing the connection from the peer's point of view;
+//   * delays — a bounded sleep before the syscall (latency, GC pauses,
+//     congested links);
+//   * short writes — only a prefix of the buffer is written before the fd
+//     is shut down, so the peer observes a torn frame mid-stream.
+//
+// The plan is process-global (tests, `segidx_load --chaos`, and the serve
+// torture install it around both endpoints at once) and seed-deterministic:
+// the decision stream is a fixed-seed PRNG, so a single-threaded sequence
+// of calls replays identically. Faults never target fds outside the
+// wrapped call sites — the server's wake pipe and epoll plumbing stay
+// reliable, as they are process-internal, not network.
+
+#ifndef SEGIDX_SERVER_FAULTY_TRANSPORT_H_
+#define SEGIDX_SERVER_FAULTY_TRANSPORT_H_
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <cstdint>
+
+namespace segidx::server::transport {
+
+struct FaultPlan {
+  // Per-call probabilities in [0, 1].
+  double reset_prob = 0.0;        // Fail with ECONNRESET + shutdown(fd).
+  double delay_prob = 0.0;        // Sleep up to max_delay_us first.
+  double short_write_prob = 0.0;  // Write a prefix, then shutdown(fd).
+  uint32_t max_delay_us = 2000;
+  uint64_t seed = 1;
+};
+
+// Installs (replacing any previous) / removes the process-global plan.
+void InstallFaultPlan(const FaultPlan& plan);
+void ClearFaultPlan();
+bool FaultsEnabled();
+
+// Total faults injected since the last InstallFaultPlan.
+uint64_t FaultsInjected();
+
+// read(2)/write(2) with the installed plan applied; errno is set exactly
+// as the syscall (or the injected fault) dictates.
+ssize_t Read(int fd, void* buf, size_t n);
+ssize_t Write(int fd, const void* buf, size_t n);
+
+}  // namespace segidx::server::transport
+
+#endif  // SEGIDX_SERVER_FAULTY_TRANSPORT_H_

@@ -13,6 +13,22 @@
 //                u8 allow_partial
 //   -- kInsert / kDelete: 4 x f64 rect, u64 tid
 //   -- kCommit / kStats / kHealth: no body
+//   -- kHello:   u32 protocol_version, u64 session_id
+//
+// Exactly-once extension (protocol version 2): a mutating request
+// (kInsert / kDelete / kCommit) may append a 16-byte tail
+//
+//   u64 session_id    (nonzero; client-chosen, stable across reconnects)
+//   u64 seq           (monotonic per session, starting at 1)
+//
+// after its fixed body. The tail is self-describing by length, so version-1
+// clients that omit it keep working unchanged. The server keeps a bounded
+// per-session window of the last applied sequence number and its verdict,
+// persisted with every checkpoint; a retried (session_id, seq) after a
+// reconnect — or after a server crash-restart — is acknowledged from the
+// window instead of re-applied. kHello reports the server's protocol
+// version and the session's last recorded seq so a reconnecting client can
+// resynchronize.
 //
 // Response payload layout:
 //
@@ -52,6 +68,9 @@ namespace segidx::server {
 // client) try to buffer gigabytes.
 inline constexpr uint32_t kMaxFrameBytes = 8u << 20;
 
+// Bumped to 2 for the exactly-once session/seq extension and kHello.
+inline constexpr uint32_t kProtocolVersion = 2;
+
 enum class MsgType : uint8_t {
   kSearch = 1,
   kInsert = 2,
@@ -59,11 +78,12 @@ enum class MsgType : uint8_t {
   kCommit = 4,
   kStats = 5,
   kHealth = 6,
+  kHello = 7,
 };
 
 inline bool ValidMsgType(uint8_t raw) {
   return raw >= static_cast<uint8_t>(MsgType::kSearch) &&
-         raw <= static_cast<uint8_t>(MsgType::kHealth);
+         raw <= static_cast<uint8_t>(MsgType::kHello);
 }
 
 // A decoded request. Fields beyond `type`/`request_id` are meaningful only
@@ -75,6 +95,11 @@ struct Request {
   TupleId tid = 0;
   uint64_t budget_us = 0;     // kSearch: 0 = no deadline.
   bool allow_partial = false;  // kSearch.
+  // Exactly-once tail on mutating requests; 0 = sessionless (version-1
+  // client). kHello carries session_id alone.
+  uint64_t session_id = 0;
+  uint64_t seq = 0;
+  uint32_t version = 0;  // kHello: client protocol version.
 };
 
 // A decoded response. `body` holds the type-specific tail (search hits or
@@ -187,16 +212,22 @@ inline std::vector<uint8_t> EncodeSearchRequest(uint64_t request_id,
   return out;
 }
 
+// `session_id` == 0 encodes the version-1 frame without the session tail.
 inline std::vector<uint8_t> EncodeWriteRequest(MsgType type,
                                                uint64_t request_id,
-                                               const Rect& rect,
-                                               TupleId tid) {
+                                               const Rect& rect, TupleId tid,
+                                               uint64_t session_id = 0,
+                                               uint64_t seq = 0) {
   std::vector<uint8_t> out;
-  out.reserve(1 + 8 + 32 + 8);
+  out.reserve(1 + 8 + 32 + 8 + 16);
   wire::AppendU8(&out, static_cast<uint8_t>(type));
   wire::AppendU64(&out, request_id);
   wire::AppendRect(&out, rect);
   wire::AppendU64(&out, tid);
+  if (session_id != 0) {
+    wire::AppendU64(&out, session_id);
+    wire::AppendU64(&out, seq);
+  }
   return out;
 }
 
@@ -208,6 +239,47 @@ inline std::vector<uint8_t> EncodeSimpleRequest(MsgType type,
   wire::AppendU64(&out, request_id);
   return out;
 }
+
+inline std::vector<uint8_t> EncodeCommitRequest(uint64_t request_id,
+                                                uint64_t session_id = 0,
+                                                uint64_t seq = 0) {
+  std::vector<uint8_t> out;
+  out.reserve(1 + 8 + 16);
+  wire::AppendU8(&out, static_cast<uint8_t>(MsgType::kCommit));
+  wire::AppendU64(&out, request_id);
+  if (session_id != 0) {
+    wire::AppendU64(&out, session_id);
+    wire::AppendU64(&out, seq);
+  }
+  return out;
+}
+
+inline std::vector<uint8_t> EncodeHelloRequest(uint64_t request_id,
+                                               uint64_t session_id) {
+  std::vector<uint8_t> out;
+  out.reserve(1 + 8 + 4 + 8);
+  wire::AppendU8(&out, static_cast<uint8_t>(MsgType::kHello));
+  wire::AppendU64(&out, request_id);
+  wire::AppendU32(&out, kProtocolVersion);
+  wire::AppendU64(&out, session_id);
+  return out;
+}
+
+namespace wire_internal {
+
+// The optional exactly-once tail on a mutating request: exactly 16 extra
+// bytes (nonzero session id + seq) or nothing. Any other remainder is a
+// malformed frame.
+inline bool TakeSessionTail(wire::Cursor* cur, Request* out) {
+  if (cur->remaining() == 0) return true;  // Version-1 frame.
+  if (cur->remaining() != 16) return false;
+  if (!cur->TakeU64(&out->session_id) || !cur->TakeU64(&out->seq)) {
+    return false;
+  }
+  return out->session_id != 0;
+}
+
+}  // namespace wire_internal
 
 inline bool DecodeRequest(const uint8_t* data, size_t size, Request* out) {
   wire::Cursor cur(data, size);
@@ -228,10 +300,18 @@ inline bool DecodeRequest(const uint8_t* data, size_t size, Request* out) {
     case MsgType::kInsert:
     case MsgType::kDelete:
       if (!cur.TakeRect(&out->rect) || !cur.TakeU64(&out->tid)) return false;
+      if (!wire_internal::TakeSessionTail(&cur, out)) return false;
       break;
     case MsgType::kCommit:
+      if (!wire_internal::TakeSessionTail(&cur, out)) return false;
+      break;
     case MsgType::kStats:
     case MsgType::kHealth:
+      break;
+    case MsgType::kHello:
+      if (!cur.TakeU32(&out->version) || !cur.TakeU64(&out->session_id)) {
+        return false;
+      }
       break;
   }
   return cur.exhausted();
@@ -316,6 +396,29 @@ inline bool DecodeSearchBody(const std::vector<uint8_t>& body,
     }
   }
   return cur.exhausted();
+}
+
+// kHello response body: the server's protocol version plus the last
+// sequence number it has recorded for the client's session (0 for a new or
+// evicted session).
+struct HelloReply {
+  uint32_t server_version = 0;
+  uint64_t last_seq = 0;
+};
+
+inline std::vector<uint8_t> EncodeHelloBody(const HelloReply& reply) {
+  std::vector<uint8_t> out;
+  out.reserve(4 + 8);
+  wire::AppendU32(&out, reply.server_version);
+  wire::AppendU64(&out, reply.last_seq);
+  return out;
+}
+
+inline bool DecodeHelloBody(const std::vector<uint8_t>& body,
+                            HelloReply* out) {
+  wire::Cursor cur(body.data(), body.size());
+  return cur.TakeU32(&out->server_version) && cur.TakeU64(&out->last_seq) &&
+         cur.exhausted();
 }
 
 }  // namespace segidx::server

@@ -1,0 +1,142 @@
+#include "server/retrying_client.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+namespace segidx::server {
+
+RetryingClient::RetryingClient(std::string host, uint16_t port,
+                               uint64_t session_id,
+                               const RetryPolicy& policy)
+    : host_(std::move(host)),
+      port_(port),
+      session_id_(session_id),
+      policy_(policy),
+      backoff_us_(policy.initial_backoff_us),
+      rng_(policy.seed ^ session_id) {}
+
+bool RetryingClient::Retryable(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kIoError:      // Connection died mid-round-trip.
+    case StatusCode::kCorruption:   // Torn frame / desynchronized stream.
+    case StatusCode::kUnavailable:  // Shed, degraded, retries exhausted.
+    case StatusCode::kResourceExhausted:  // Queue full / quota.
+    case StatusCode::kDeadlineExceeded:   // Server-side queue expiry.
+    case StatusCode::kCancelled:          // Batch aborted; safe to retry.
+      return true;
+    default:
+      return false;
+  }
+}
+
+Status RetryingClient::EnsureConnected(Clock::time_point deadline) {
+  if (client_ != nullptr) return Status::OK();
+  Status last = UnavailableError("never attempted to connect");
+  do {
+    auto conn = Client::Connect(host_, port_);
+    if (conn.ok()) {
+      client_ = std::move(*conn);
+      // Resynchronize: the server's resolved high-water mark tells us
+      // whether an in-doubt seq from before the disconnect actually
+      // settled, and guards against a stale session resuming too low.
+      HelloReply hello;
+      Status st = client_->Hello(session_id_, &hello);
+      if (st.ok()) {
+        hello_last_seq_ = hello.last_seq;
+        next_seq_ = std::max(next_seq_, hello.last_seq + 1);
+        if (ever_connected_) ++reconnects_;
+        ever_connected_ = true;
+        return Status::OK();
+      }
+      client_.reset();
+      last = std::move(st);
+    } else {
+      last = conn.status();
+    }
+    Backoff(deadline);
+  } while (Clock::now() < deadline);
+  return Status(StatusCode::kUnavailable,
+                "reconnect deadline exhausted: " + last.message());
+}
+
+void RetryingClient::Backoff(Clock::time_point deadline) {
+  // Multiplicative jitter in [0.5, 1.0): colliding clients fan out
+  // instead of thundering back in lockstep.
+  const double jitter = 0.5 + 0.5 * rng_.NextDouble();
+  auto sleep_us = std::chrono::microseconds(
+      static_cast<uint64_t>(static_cast<double>(backoff_us_) * jitter));
+  const auto now = Clock::now();
+  if (now + sleep_us > deadline) {
+    sleep_us = std::chrono::duration_cast<std::chrono::microseconds>(
+        deadline - now);
+  }
+  if (sleep_us.count() > 0) std::this_thread::sleep_for(sleep_us);
+  backoff_us_ = std::min(backoff_us_ * 2, policy_.max_backoff_us);
+}
+
+Status RetryingClient::Run(const std::function<Status(Client&)>& op) {
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(policy_.total_deadline_ms);
+  backoff_us_ = policy_.initial_backoff_us;
+  Status last;
+  for (int attempt = 0;; ++attempt) {
+    if (attempt > 0) retries_++;
+    Status st = EnsureConnected(deadline);
+    if (st.ok()) {
+      st = op(*client_);
+      if (st.ok() || !Retryable(st)) return st;
+      if (st.code() == StatusCode::kIoError ||
+          st.code() == StatusCode::kCorruption) {
+        // The stream is unusable; the next attempt reconnects.
+        client_.reset();
+      }
+    }
+    last = std::move(st);
+    if (policy_.max_attempts > 0 && attempt + 1 >= policy_.max_attempts) {
+      break;
+    }
+    if (Clock::now() >= deadline) break;
+    Backoff(deadline);
+  }
+  return Status(last.code(),
+                last.message() + " (retry budget exhausted after " +
+                    std::to_string(retries_) + " total retries)");
+}
+
+Status RetryingClient::Insert(const Rect& rect, TupleId tid) {
+  const uint64_t seq = next_seq_++;
+  return Run([&](Client& c) {
+    return c.Insert(rect, tid, session_id_, seq);
+  });
+}
+
+Status RetryingClient::Delete(const Rect& rect, TupleId tid) {
+  const uint64_t seq = next_seq_++;
+  return Run([&](Client& c) {
+    return c.Delete(rect, tid, session_id_, seq);
+  });
+}
+
+Status RetryingClient::Commit() {
+  const uint64_t seq = next_seq_++;
+  return Run([&](Client& c) { return c.Commit(session_id_, seq); });
+}
+
+Status RetryingClient::Search(const Rect& rect, SearchReply* reply,
+                              uint64_t budget_us, bool allow_partial) {
+  return Run([&](Client& c) {
+    return c.Search(rect, reply, budget_us, allow_partial);
+  });
+}
+
+Status RetryingClient::Ping() {
+  return Run([&](Client& c) {
+    HelloReply hello;
+    Status st = c.Hello(session_id_, &hello);
+    if (st.ok()) hello_last_seq_ = hello.last_seq;
+    return st;
+  });
+}
+
+}  // namespace segidx::server

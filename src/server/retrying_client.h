@@ -1,0 +1,125 @@
+// Fault-tolerant client for segidxd: Client plus a retry loop.
+//
+// RetryingClient owns (and re-establishes) the TCP connection and drives
+// the protocol-v2 exactly-once extension, so its mutating calls have
+// clean semantics under connection resets, torn frames, server restarts,
+// and load shedding:
+//
+//   * every Insert/Delete/Commit carries this session's (session_id, seq);
+//   * a transport failure mid-round-trip (send failed, connection reset,
+//     stream desynchronized) reconnects with capped exponential backoff +
+//     jitter and resends the SAME seq — the server's dedup window turns
+//     the resend into a replayed acknowledgement if the first copy did
+//     land, and a fresh application if it did not;
+//   * retryable server verdicts (kResourceExhausted and kUnavailable
+//     shedding, kCancelled batch aborts, queue-full kDeadlineExceeded)
+//     back off and retry on the live connection;
+//   * everything else — including the operation's own semantic errors —
+//     is returned to the caller unchanged.
+//
+// An OK return therefore means "applied exactly once and durable"; an
+// error return after the retry budget (attempts or wall-clock deadline)
+// is exhausted means the op MAY have been applied — the caller can call
+// LastResolvedSeq() via a fresh Hello, or re-issue the same op later,
+// because the seq stays reserved until the next mutation is issued.
+//
+// Searches carry no session tail (they are idempotent); they get the same
+// reconnect/backoff treatment.
+//
+// Not thread-safe: one RetryingClient per thread, like Client.
+
+#ifndef SEGIDX_SERVER_RETRYING_CLIENT_H_
+#define SEGIDX_SERVER_RETRYING_CLIENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/geometry.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "server/client.h"
+
+namespace segidx::server {
+
+struct RetryPolicy {
+  // Attempts per operation (first try included). <= 0 retries until the
+  // deadline alone gives up.
+  int max_attempts = 8;
+  // Exponential backoff between attempts, with multiplicative jitter in
+  // [0.5, 1.0] so colliding clients spread out.
+  uint64_t initial_backoff_us = 1000;
+  uint64_t max_backoff_us = 200000;
+  // Wall-clock budget per operation, reconnects included. Generous by
+  // default: it must ride out a server crash + recovery + restart.
+  uint64_t total_deadline_ms = 30000;
+  // Seeds the jitter stream (deterministic tests).
+  uint64_t seed = 1;
+};
+
+class RetryingClient {
+ public:
+  // session_id must be nonzero and unique among concurrent writers (two
+  // sessions sharing an id would corrupt each other's dedup state).
+  RetryingClient(std::string host, uint16_t port, uint64_t session_id,
+                 const RetryPolicy& policy = RetryPolicy());
+
+  RetryingClient(const RetryingClient&) = delete;
+  RetryingClient& operator=(const RetryingClient&) = delete;
+
+  // Exactly-once mutations (see file comment for the contract).
+  Status Insert(const Rect& rect, TupleId tid);
+  Status Delete(const Rect& rect, TupleId tid);
+  Status Commit();
+
+  // Idempotent read with the same reconnect/backoff loop.
+  Status Search(const Rect& rect, SearchReply* reply, uint64_t budget_us = 0,
+                bool allow_partial = false);
+
+  // Forces a (re)connect inside the policy's deadline; usable as a
+  // liveness probe.
+  Status Ping();
+
+  uint64_t session_id() const { return session_id_; }
+  // Successful reconnects after the initial connect.
+  uint64_t reconnects() const { return reconnects_; }
+  // Attempts beyond each operation's first.
+  uint64_t retries() const { return retries_; }
+  // The server's resolved high-water mark from the most recent Hello.
+  uint64_t hello_last_seq() const { return hello_last_seq_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  // True for verdicts worth retrying: the op did not (or may not have)
+  // settled, and a later attempt can succeed.
+  static bool Retryable(const Status& status);
+
+  Status EnsureConnected(Clock::time_point deadline);
+  // Sleeps the current backoff (clipped to the deadline) and advances it.
+  void Backoff(Clock::time_point deadline);
+  // The shared retry loop; `op` runs against a live connection.
+  Status Run(const std::function<Status(Client&)>& op);
+
+  const std::string host_;
+  const uint16_t port_;
+  const uint64_t session_id_;
+  const RetryPolicy policy_;
+
+  std::unique_ptr<Client> client_;  // Null while disconnected.
+  uint64_t next_seq_ = 1;
+  uint64_t backoff_us_;
+  Rng rng_;
+
+  uint64_t reconnects_ = 0;
+  uint64_t retries_ = 0;
+  uint64_t hello_last_seq_ = 0;
+  bool ever_connected_ = false;
+};
+
+}  // namespace segidx::server
+
+#endif  // SEGIDX_SERVER_RETRYING_CLIENT_H_

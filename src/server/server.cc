@@ -13,10 +13,12 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <set>
 #include <utility>
 
 #include "check/lock_order.h"
 #include "rtree/latch.h"
+#include "server/faulty_transport.h"
 #include "storage/pager.h"
 
 namespace segidx::server {
@@ -113,12 +115,31 @@ Status Server::Start() {
 
   exec::WritePoolOptions wopts;
   wopts.num_threads = options_.write_threads;
-  wopts.commit_every = options_.commit_every;
-  write_pool_ = std::make_unique<exec::WritePool>(
-      index_->tree(), [this]() -> Status { return index_->Commit(); },
-      wopts);
+  // No commit callback: the write dispatcher is the only checkpoint
+  // initiator while serving, so it can record exactly-once verdicts in
+  // the dedup window *before* the checkpoint that persists them — a
+  // worker-initiated commit could otherwise race the window update and
+  // persist data without the verdicts that acknowledge it.
+  write_pool_ =
+      std::make_unique<exec::WritePool>(index_->tree(), nullptr, wopts);
+
+  // The dedup window travels with every checkpoint (the hook runs inside
+  // Commit, under the pager's exclusive phase) and is restored from the
+  // last checkpoint on open — an acked session write and its verdict are
+  // durable together or not at all.
+  if (Status st = dedup_.Load(index_->recovered_commit_meta()); !st.ok()) {
+    // A window we cannot parse only costs dedup coverage for sessions
+    // from before the restart; serving with an empty window is safe
+    // (retries re-apply, which the torture's oracle flags — but a corrupt
+    // window means the checkpoint itself was damaged, which recovery
+    // rejects first).
+    std::fprintf(stderr, "segidxd: dedup window not restored: %s\n",
+                 st.message().c_str());
+  }
+  index_->SetCommitMetaHook([this] { return dedup_.Serialize(); });
 
   stopping_.store(false, std::memory_order_relaxed);
+  aborting_.store(false, std::memory_order_relaxed);
   scrub_cancel_.store(false, std::memory_order_relaxed);
   io_thread_ = std::thread(&Server::IoLoop, this);
   search_thread_ = std::thread(&Server::SearchLoop, this);
@@ -161,7 +182,10 @@ void Server::Stop() {
 
   // Final durability point for everything acknowledged above. Ignore the
   // status: a read-only (degraded / format-v1) index legitimately refuses.
-  (void)index_->Commit();
+  // Abort() skips it on purpose — a crash does not get a goodbye
+  // checkpoint.
+  if (!aborting_.load(std::memory_order_relaxed)) (void)index_->Commit();
+  index_->SetCommitMetaHook(nullptr);
 
   // Any connection still in the map never went through CloseConnection,
   // so its fd is open even if a dispatcher already marked it closed.
@@ -177,6 +201,11 @@ void Server::Stop() {
   close(wake_pipe_[1]);
   listen_fd_ = epoll_fd_ = wake_pipe_[0] = wake_pipe_[1] = -1;
   started_ = false;
+}
+
+void Server::Abort() {
+  aborting_.store(true, std::memory_order_seq_cst);
+  Stop();
 }
 
 // --- I/O thread -------------------------------------------------------------
@@ -205,6 +234,7 @@ void Server::IoLoop() {
         connections_.erase(it);
       }
     }
+    if (options_.idle_timeout_ms > 0) ReapIdleConnections();
   }
 }
 
@@ -212,11 +242,28 @@ void Server::AcceptConnections() {
   for (;;) {
     const int fd =
         accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
-    if (fd < 0) return;  // EAGAIN or a transient error; epoll retries.
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Out of fds/buffers. The listen fd is level-triggered, so epoll
+        // would re-arm instantly and spin the I/O thread at 100% while
+        // the condition lasts; sleep with a capped exponential backoff
+        // instead. Connections in the backlog wait; the idle reaper and
+        // normal closes free fds meanwhile.
+        accept_overload_.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(accept_backoff_ms_));
+        accept_backoff_ms_ = std::min<uint64_t>(accept_backoff_ms_ * 2, 200);
+      }
+      return;  // EAGAIN or a transient error; epoll retries.
+    }
+    accept_backoff_ms_ = 1;
     const int one = 1;
     setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
+    conn->last_active = Clock::now();
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.fd = fd;
@@ -227,6 +274,25 @@ void Server::AcceptConnections() {
     connections_.emplace(fd, std::move(conn));
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
     connections_active_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::ReapIdleConnections() {
+  const Clock::time_point cutoff =
+      Clock::now() - std::chrono::milliseconds(options_.idle_timeout_ms);
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    const std::shared_ptr<Connection>& conn = it->second;
+    // Never reap a connection with an answer pending: a dispatcher may be
+    // about to write to it, and "idle" means the *peer* went quiet, not
+    // that we are slow.
+    if (conn->inflight.load(std::memory_order_relaxed) == 0 &&
+        conn->last_active < cutoff) {
+      idle_reaped_.fetch_add(1, std::memory_order_relaxed);
+      CloseConnection(conn);
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
   }
 }
 
@@ -245,13 +311,14 @@ void Server::CloseConnection(const std::shared_ptr<Connection>& conn) {
 bool Server::DrainReadable(const std::shared_ptr<Connection>& conn) {
   uint8_t chunk[16 * 1024];
   for (;;) {
-    const ssize_t got = read(conn->fd, chunk, sizeof(chunk));
+    const ssize_t got = transport::Read(conn->fd, chunk, sizeof(chunk));
     if (got < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       if (errno == EINTR) continue;
       return false;
     }
     if (got == 0) return false;  // Peer closed.
+    conn->last_active = Clock::now();
     conn->inbuf.insert(conn->inbuf.end(), chunk, chunk + got);
   }
   // Extract every complete frame.
@@ -309,6 +376,19 @@ bool Server::HandleFrame(const std::shared_ptr<Connection>& conn,
       commits_.fetch_add(1, std::memory_order_relaxed);
       EnqueueWrite(conn, req);
       return true;
+    case MsgType::kHello: {
+      // Session handshake: tell the client our protocol version and the
+      // highest sequence number its session has resolved, so a
+      // reconnecting client knows which in-doubt retries are settled.
+      hellos_.fetch_add(1, std::memory_order_relaxed);
+      const HelloReply reply{
+          kProtocolVersion,
+          req.session_id != 0 ? dedup_.LastSeq(req.session_id) : 0};
+      const std::vector<uint8_t> body = EncodeHelloBody(reply);
+      SendResponse(conn, req.type, req.request_id, Status::OK(), &body,
+                   /*counted=*/false);
+      return true;
+    }
     case MsgType::kStats:
     case MsgType::kHealth: {
       info_requests_.fetch_add(1, std::memory_order_relaxed);
@@ -382,6 +462,8 @@ void Server::EnqueueWrite(const std::shared_ptr<Connection>& conn,
   pending.type = req.type;
   pending.rect = req.rect;
   pending.tid = req.tid;
+  pending.session_id = req.session_id;
+  pending.seq = req.seq;
   bool shed = false;
   {
     TrackedMutexLock lock(&queue_mu_, LockClass::kServerQueue);
@@ -413,6 +495,7 @@ void Server::SearchLoop() {
              !stopping_.load(std::memory_order_relaxed)) {
         search_cv_.Wait(&queue_mu_);
       }
+      if (aborting_.load(std::memory_order_relaxed)) return;  // Crash.
       if (search_queue_.empty()) return;  // Stopping and fully drained.
       const size_t n = std::min(options_.max_batch, search_queue_.size());
       batch.reserve(n);
@@ -542,6 +625,7 @@ void Server::WriteLoop() {
              !stopping_.load(std::memory_order_relaxed)) {
         write_cv_.Wait(&queue_mu_);
       }
+      if (aborting_.load(std::memory_order_relaxed)) return;  // Crash.
       if (write_queue_.empty()) return;  // Stopping and fully drained.
       work.reserve(write_queue_.size());
       while (!write_queue_.empty()) {
@@ -554,43 +638,154 @@ void Server::WriteLoop() {
 }
 
 void Server::ExecuteWrites(std::vector<PendingWrite> work) {
-  // Arrival order is preserved: consecutive inserts coalesce into one
-  // WritePool run (its workers spread them over the write phase and
-  // commit on the group-commit cadence); consecutive commits are
-  // acknowledged by a single checkpoint.
+  // Arrival order is preserved: consecutive inserts coalesce into
+  // WritePool runs (commit_every ops per chunk, one checkpoint each);
+  // consecutive commits are acknowledged by a single checkpoint.
+  //
+  // Exactly-once discipline for session-tagged ops (session_id != 0):
+  //
+  //   * Before executing, the dedup window is consulted; a sequence number
+  //     at or below the session's resolved high-water mark is answered
+  //     from the cached verdict without touching the index.
+  //   * An applied op's OK verdict is recorded *before* the checkpoint
+  //     that makes it durable. The window rides inside the checkpoint
+  //     (commit-meta hook), so the data and the verdict that acknowledges
+  //     it persist atomically — after a crash, a retry the client never
+  //     saw acked re-applies (correct: the data was lost too), and a
+  //     retry of an acked op replays its ack (correct: the data is there).
+  //   * A failed checkpoint downgrades the in-memory verdict to the
+  //     commit's error code; the op is applied but volatile. A retry of
+  //     that seq does not re-apply — it runs a fresh checkpoint and
+  //     upgrades the verdict to OK when one lands.
+  //   * Ops that never reached the tree (failed or skipped) are not
+  //     recorded at all, so a retry re-executes them.
+
+  // Answers `op` from the dedup window. Returns false if the op is fresh
+  // and must be executed.
+  auto replay_if_duplicate = [&](const PendingWrite& op) -> bool {
+    if (op.session_id == 0) return false;
+    const auto hit = dedup_.Check(op.session_id, op.seq);
+    if (!hit.has_value()) return false;
+    dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+    if (op.seq < hit->seq || hit->code == StatusCode::kOk) {
+      // Resolved — either this very seq acked OK, or a newer op from the
+      // same session already resolved past it (the client only retries
+      // its newest op, so anything older was settled before it moved on).
+      SendResponse(op.conn, op.type, op.request_id, Status::OK());
+      return true;
+    }
+    // This seq was applied but its checkpoint failed. Converge instead of
+    // replaying the stale error: a fresh checkpoint makes it durable now.
+    const Status commit_status = index_->Commit();
+    const StatusCode code =
+        commit_status.ok() ? StatusCode::kOk : commit_status.code();
+    dedup_.Record(op.session_id, op.seq, code);
+    SendResponse(op.conn, op.type, op.request_id, commit_status);
+    return true;
+  };
+
   std::vector<size_t> run;  // Indexes of the current insert run.
+  // Session keys already in `run`: a duplicate must not share a batch
+  // with its original (the window only knows resolved ops).
+  std::set<std::pair<uint64_t, uint64_t>> pending_keys;
+
+  // Applies one chunk of the insert run and checkpoints it.
+  auto flush_chunk = [&](const size_t* idx, size_t n) {
+    std::vector<exec::WriteOp> ops;
+    ops.reserve(n);
+    for (size_t k = 0; k < n; ++k) {
+      ops.push_back(exec::WriteOp{work[idx[k]].rect, work[idx[k]].tid});
+    }
+    std::vector<exec::WriteOpResult> results;
+    (void)write_pool_->ApplyBatch(ops, &results);
+    // Provisional verdicts first, then the checkpoint: the window blob the
+    // commit-meta hook serializes must already acknowledge everything the
+    // checkpoint is about to make durable.
+    for (size_t k = 0; k < n; ++k) {
+      const PendingWrite& op = work[idx[k]];
+      if (op.session_id != 0 &&
+          results[k].outcome == exec::WriteOpResult::Outcome::kApplied) {
+        dedup_.Record(op.session_id, op.seq, StatusCode::kOk);
+      }
+    }
+    const Status commit_status = index_->Commit();
+    for (size_t k = 0; k < n; ++k) {
+      const PendingWrite& op = work[idx[k]];
+      switch (results[k].outcome) {
+        case exec::WriteOpResult::Outcome::kApplied:
+          if (commit_status.ok()) {
+            SendResponse(op.conn, MsgType::kInsert, op.request_id,
+                         Status::OK());
+          } else {
+            if (op.session_id != 0) {
+              dedup_.Record(op.session_id, op.seq, commit_status.code());
+            }
+            SendResponse(
+                op.conn, MsgType::kInsert, op.request_id,
+                Status(commit_status.code(),
+                       commit_status.message() +
+                           " (insert applied but not yet durable; "
+                           "retry to checkpoint it)"));
+          }
+          break;
+        case exec::WriteOpResult::Outcome::kFailed:
+          SendResponse(op.conn, MsgType::kInsert, op.request_id,
+                       results[k].status);
+          break;
+        case exec::WriteOpResult::Outcome::kSkipped:
+          SendResponse(op.conn, MsgType::kInsert, op.request_id,
+                       CancelledError("not applied: batch aborted by a "
+                                      "neighbor's failure — safe to retry"));
+          break;
+      }
+    }
+  };
+
   auto flush_run = [&] {
     if (run.empty()) return;
-    std::vector<exec::WriteOp> ops;
-    ops.reserve(run.size());
-    for (size_t idx : run) {
-      ops.push_back(exec::WriteOp{work[idx].rect, work[idx].tid});
-    }
-    Status status = write_pool_->ApplyBatch(ops);
-    if (!status.ok()) {
-      // ApplyBatch short-circuits; which neighbors landed is unspecified.
-      status = Status(status.code(),
-                      status.message() +
-                          " (batched insert; application indeterminate — "
-                          "commit and verify)");
-    }
-    for (size_t idx : run) {
-      SendResponse(work[idx].conn, MsgType::kInsert, work[idx].request_id,
-                   status);
+    const size_t chunk =
+        options_.commit_every > 0 ? options_.commit_every : run.size();
+    for (size_t off = 0; off < run.size(); off += chunk) {
+      flush_chunk(run.data() + off, std::min(chunk, run.size() - off));
     }
     run.clear();
+    pending_keys.clear();
   };
 
   for (size_t i = 0; i < work.size(); ++i) {
     PendingWrite& op = work[i];
     switch (op.type) {
-      case MsgType::kInsert:
+      case MsgType::kInsert: {
+        if (op.session_id != 0) {
+          if (pending_keys.count({op.session_id, op.seq}) != 0) flush_run();
+          if (replay_if_duplicate(op)) break;
+          pending_keys.insert({op.session_id, op.seq});
+        }
         run.push_back(i);
         break;
+      }
       case MsgType::kDelete: {
         flush_run();
-        SendResponse(op.conn, MsgType::kDelete, op.request_id,
-                     index_->Delete(op.rect, op.tid));
+        if (replay_if_duplicate(op)) break;
+        const Status status = index_->Delete(op.rect, op.tid);
+        if (op.session_id == 0 || !status.ok()) {
+          // Failed ops are not recorded: nothing changed, retry re-runs.
+          SendResponse(op.conn, MsgType::kDelete, op.request_id, status);
+          break;
+        }
+        dedup_.Record(op.session_id, op.seq, StatusCode::kOk);
+        const Status commit_status = index_->Commit();
+        if (commit_status.ok()) {
+          SendResponse(op.conn, MsgType::kDelete, op.request_id,
+                       Status::OK());
+        } else {
+          dedup_.Record(op.session_id, op.seq, commit_status.code());
+          SendResponse(op.conn, MsgType::kDelete, op.request_id,
+                       Status(commit_status.code(),
+                              commit_status.message() +
+                                  " (delete applied but not yet durable; "
+                                  "retry to checkpoint it)"));
+        }
         break;
       }
       case MsgType::kCommit: {
@@ -602,10 +797,34 @@ void Server::ExecuteWrites(std::vector<PendingWrite> work) {
                work[last + 1].type == MsgType::kCommit) {
           ++last;
         }
-        const Status status = index_->Commit();
+        // Answer duplicates from the window; pre-record the fresh ones as
+        // OK so the checkpoint persists its own acknowledgements, rolling
+        // back if it fails.
+        std::vector<size_t> fresh;
+        std::vector<std::optional<DedupWindow::Verdict>> previous;
         for (size_t j = i; j <= last; ++j) {
-          SendResponse(work[j].conn, MsgType::kCommit, work[j].request_id,
-                       status);
+          if (replay_if_duplicate(work[j])) continue;
+          fresh.push_back(j);
+          if (work[j].session_id != 0) {
+            previous.push_back(dedup_.Record(work[j].session_id,
+                                             work[j].seq, StatusCode::kOk));
+          } else {
+            previous.push_back(std::nullopt);
+          }
+        }
+        if (!fresh.empty()) {
+          const Status status = index_->Commit();
+          if (!status.ok()) {
+            for (size_t k = fresh.size(); k-- > 0;) {
+              if (work[fresh[k]].session_id != 0) {
+                dedup_.Restore(work[fresh[k]].session_id, previous[k]);
+              }
+            }
+          }
+          for (size_t j : fresh) {
+            SendResponse(work[j].conn, MsgType::kCommit, work[j].request_id,
+                         status);
+          }
         }
         i = last;
         break;
@@ -654,6 +873,9 @@ void Server::SendResponse(const std::shared_ptr<Connection>& conn,
                           const Status& status,
                           const std::vector<uint8_t>* body, bool counted) {
   if (counted) conn->inflight.fetch_sub(1, std::memory_order_relaxed);
+  // A crashing server answers nobody: drop the frame on the floor so the
+  // client sees the same silence a dead process would produce.
+  if (aborting_.load(std::memory_order_relaxed)) return;
   const std::vector<uint8_t> payload = EncodeResponse(
       type, request_id, status, body != nullptr ? body->data() : nullptr,
       body != nullptr ? body->size() : 0);
@@ -668,8 +890,8 @@ void Server::SendResponse(const std::shared_ptr<Connection>& conn,
   if (conn->closed) return;
   size_t sent = 0;
   while (sent < frame.size()) {
-    const ssize_t n =
-        write(conn->fd, frame.data() + sent, frame.size() - sent);
+    const ssize_t n = transport::Write(conn->fd, frame.data() + sent,
+                                       frame.size() - sent);
     if (n > 0) {
       sent += static_cast<size_t>(n);
       continue;
@@ -717,6 +939,10 @@ ServerStatsSnapshot Server::stats_snapshot() const {
   s.scrubs_completed = scrubs_completed_.load(std::memory_order_relaxed);
   s.scrub_defects = scrub_defects_.load(std::memory_order_relaxed);
   s.scrub_running = scrub_running_.load(std::memory_order_relaxed);
+  s.accept_overload = accept_overload_.load(std::memory_order_relaxed);
+  s.idle_reaped = idle_reaped_.load(std::memory_order_relaxed);
+  s.dedup_hits = dedup_hits_.load(std::memory_order_relaxed);
+  s.hellos = hellos_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -724,7 +950,7 @@ std::string Server::BuildStatsJson() {
   const ServerStatsSnapshot s = stats_snapshot();
   const storage::StorageStats& st = index_->storage_stats();
   const rtree::LatchStats latch = index_->tree()->latch_stats();
-  char buf[2048];
+  char buf[3072];
   std::snprintf(
       buf, sizeof(buf),
       "{\"server\": {\"connections_accepted\": %llu, "
@@ -733,7 +959,9 @@ std::string Server::BuildStatsJson() {
       "\"responses\": %llu, \"protocol_errors\": %llu, "
       "\"send_failures\": %llu, \"shed_queue_full\": %llu, "
       "\"shed_quota\": %llu, \"deadline_expired\": %llu, "
-      "\"batches\": %llu, \"batch_queries\": %llu, \"retries\": %llu}, "
+      "\"batches\": %llu, \"batch_queries\": %llu, \"retries\": %llu, "
+      "\"accept_overload\": %llu, \"idle_reaped\": %llu, "
+      "\"dedup_hits\": %llu, \"hellos\": %llu}, "
       "\"index\": {\"records\": %llu, \"height\": %d, "
       "\"index_bytes\": %llu}, "
       "\"storage\": {\"logical_reads\": %llu, \"cache_hits\": %llu, "
@@ -761,6 +989,10 @@ std::string Server::BuildStatsJson() {
       static_cast<unsigned long long>(s.batches),
       static_cast<unsigned long long>(s.batch_queries),
       static_cast<unsigned long long>(s.retries),
+      static_cast<unsigned long long>(s.accept_overload),
+      static_cast<unsigned long long>(s.idle_reaped),
+      static_cast<unsigned long long>(s.dedup_hits),
+      static_cast<unsigned long long>(s.hellos),
       static_cast<unsigned long long>(index_->size()), index_->height(),
       static_cast<unsigned long long>(index_->index_bytes()),
       static_cast<unsigned long long>(st.logical_reads),

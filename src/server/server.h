@@ -51,6 +51,7 @@
 #include "common/thread_annotations.h"
 #include "core/interval_index.h"
 #include "exec/write_pool.h"
+#include "server/dedup_window.h"
 #include "server/protocol.h"
 
 namespace segidx::server {
@@ -86,6 +87,11 @@ struct ServerOptions {
   // batch abort) is retried this many times before kUnavailable.
   int max_retries = 3;
 
+  // Connections with no inbound bytes for this long (and no request in
+  // flight) are reaped so dead peers stop pinning per-connection quota
+  // and fds. 0 disables.
+  uint64_t idle_timeout_ms = 0;
+
   // Background media scrub every interval (0 = disabled). Runs under the
   // read phase, so it coexists with serving searches.
   uint64_t scrub_interval_ms = 0;
@@ -118,6 +124,14 @@ struct ServerStatsSnapshot {
   uint64_t scrubs_completed = 0;
   uint64_t scrub_defects = 0;
   bool scrub_running = false;
+  // Accepts refused for fd/buffer exhaustion (EMFILE and friends), each
+  // answered with a backed-off sleep instead of an epoll hot-spin.
+  uint64_t accept_overload = 0;
+  // Connections reaped by the idle timeout.
+  uint64_t idle_reaped = 0;
+  // Mutating requests answered from the exactly-once dedup window.
+  uint64_t dedup_hits = 0;
+  uint64_t hellos = 0;
 };
 
 class Server {
@@ -139,6 +153,13 @@ class Server {
   // Graceful shutdown: stop accepting and reading, answer every queued
   // request, run a final commit, close every connection. Idempotent.
   void Stop();
+
+  // Crash-simulating shutdown for fault-tolerance tests: queued requests
+  // are dropped unanswered, no final commit runs, and connections are cut
+  // mid-stream — from a client's point of view the process died. The
+  // index is left exactly as the last checkpoint (plus any uncommitted
+  // in-memory state) describes it.
+  void Abort();
 
   // The bound port (after Start()); useful with options.port == 0.
   uint16_t port() const { return port_; }
@@ -168,6 +189,9 @@ class Server {
     std::atomic<int> inflight{0};
     // Read buffer; touched only by the I/O thread.
     std::vector<uint8_t> inbuf;
+    // Last inbound activity; touched only by the I/O thread (accept,
+    // drain, and the idle sweep all run there).
+    Clock::time_point last_active{};
   };
 
   struct PendingSearch {
@@ -185,6 +209,9 @@ class Server {
     MsgType type = MsgType::kInsert;
     Rect rect;
     TupleId tid = 0;
+    // Exactly-once tail; 0 = sessionless (version-1 client).
+    uint64_t session_id = 0;
+    uint64_t seq = 0;
   };
 
   void IoLoop();
@@ -193,6 +220,8 @@ class Server {
   void ScrubLoop();
 
   void AcceptConnections();
+  // Closes connections idle past options_.idle_timeout_ms (I/O thread).
+  void ReapIdleConnections();
   // Reads everything available; returns false when the connection is done
   // (EOF, error, or protocol violation) and should be dropped.
   bool DrainReadable(const std::shared_ptr<Connection>& conn);
@@ -226,8 +255,17 @@ class Server {
   bool started_ = false;
 
   std::atomic<bool> stopping_{false};
+  // Abort() in progress: skip the final commit and drop queued answers.
+  std::atomic<bool> aborting_{false};
   // Cancels an in-flight scrub pass promptly on Stop().
   std::atomic<bool> scrub_cancel_{false};
+
+  // Exactly-once window for session-tagged mutations; serialized into the
+  // checkpoint metadata via the index's commit-meta hook.
+  DedupWindow dedup_;
+
+  // Accept-failure backoff (EMFILE and friends); I/O thread only.
+  uint64_t accept_backoff_ms_ = 1;
 
   // Request queues. queue_mu_ is a strict leaf: dispatchers move work out
   // under it, release it, then touch the index / sockets.
@@ -268,6 +306,10 @@ class Server {
   std::atomic<uint64_t> scrubs_completed_{0};
   std::atomic<uint64_t> scrub_defects_{0};
   std::atomic<bool> scrub_running_{false};
+  std::atomic<uint64_t> accept_overload_{0};
+  std::atomic<uint64_t> idle_reaped_{0};
+  std::atomic<uint64_t> dedup_hits_{0};
+  std::atomic<uint64_t> hellos_{0};
 };
 
 }  // namespace segidx::server

@@ -25,10 +25,18 @@ inline const char* StrerrorResult(const char* msg, const char* /*buf*/) {
 }
 
 Status ErrnoToStatus(const char* op, const std::string& detail) {
+  const int err = errno;
   char buf[128] = "unknown error";
-  const char* msg = StrerrorResult(strerror_r(errno, buf, sizeof(buf)), buf);
-  return IoError(std::string(op) + " failed: " + msg +
-                 (detail.empty() ? "" : " (" + detail + ")"));
+  const char* msg = StrerrorResult(strerror_r(err, buf, sizeof(buf)), buf);
+  const std::string text = std::string(op) + " failed: " + msg +
+                           (detail.empty() ? "" : " (" + detail + ")");
+  // A full disk (or an exhausted quota) is an environmental condition the
+  // operator can fix, not device damage: surface it as kResourceExhausted
+  // so callers can distinguish "free some space" from "replace the disk".
+  // The pager still degrades to read-only either way — a failed write is
+  // a failed write — but the status code names the cure.
+  if (err == ENOSPC || err == EDQUOT) return ResourceExhaustedError(text);
+  return IoError(text);
 }
 
 // EINTR/EAGAIN are transient: retry with capped exponential backoff instead

@@ -57,6 +57,11 @@ void FaultInjectingBlockDevice::SetReadOnly(bool read_only) {
   read_only_ = read_only;
 }
 
+void FaultInjectingBlockDevice::SetDiskFull(bool disk_full) {
+  std::lock_guard<std::mutex> lock(mu_);
+  disk_full_ = disk_full;
+}
+
 void FaultInjectingBlockDevice::ClearFaults() {
   std::lock_guard<std::mutex> lock(mu_);
   fail_write_at_ = kNever;
@@ -68,6 +73,7 @@ void FaultInjectingBlockDevice::ClearFaults() {
   crash_at_op_ = kNever;
   dead_ = false;
   read_only_ = false;
+  disk_full_ = false;
 }
 
 FaultInjectingBlockDevice::Counters FaultInjectingBlockDevice::counters()
@@ -128,6 +134,10 @@ Status FaultInjectingBlockDevice::Write(uint64_t offset, const uint8_t* data,
       ++counters_.faults_fired;
       return IoError("injected fault: device is read-only (EROFS)");
     }
+    if (disk_full_) {
+      ++counters_.faults_fired;
+      return ResourceExhaustedError("injected fault: disk full (ENOSPC)");
+    }
     if (op == crash_at_op_) {
       dead_ = true;
       ++counters_.faults_fired;
@@ -173,6 +183,10 @@ Status FaultInjectingBlockDevice::Sync() {
       ++counters_.faults_fired;
       return IoError("injected fault: device is read-only (EROFS)");
     }
+    if (disk_full_) {
+      ++counters_.faults_fired;
+      return ResourceExhaustedError("injected fault: disk full (ENOSPC)");
+    }
     if (op == crash_at_op_) {
       dead_ = true;
       ++counters_.faults_fired;
@@ -194,6 +208,10 @@ Status FaultInjectingBlockDevice::Truncate(uint64_t new_size) {
     if (dead_ || read_only_) {
       ++counters_.faults_fired;
       return IoError("injected fault: truncate rejected");
+    }
+    if (disk_full_) {
+      ++counters_.faults_fired;
+      return ResourceExhaustedError("injected fault: disk full (ENOSPC)");
     }
   }
   return inner_->Truncate(new_size);

@@ -7,8 +7,9 @@
 // ranges (per-page damage targeting: the inner bytes stay intact, the
 // reader sees them flipped), delay every read (a slow device, for
 // deadline benchmarks), tear a write after K bytes, simulate a process
-// crash at a given op index (everything after the fault fails), or go
-// read-only. Counters expose how many ops of each kind reached the device
+// crash at a given op index (everything after the fault fails), go
+// read-only, or report a full disk (ENOSPC-style kResourceExhausted).
+// Counters expose how many ops of each kind reached the device
 // so tests can assert fault points precisely and torture harnesses can
 // enumerate them.
 //
@@ -82,6 +83,11 @@ class FaultInjectingBlockDevice : public BlockDevice {
   // Rejects all writes/syncs with an I/O error (no tear) until unset.
   void SetReadOnly(bool read_only);
 
+  // Rejects all writes/syncs/truncates with kResourceExhausted (ENOSPC)
+  // until unset — the disk is full, not broken: reads keep working, and
+  // the data already on the device is intact.
+  void SetDiskFull(bool disk_full);
+
   // Clears every scheduled fault (counters keep running).
   void ClearFaults();
 
@@ -120,6 +126,7 @@ class FaultInjectingBlockDevice : public BlockDevice {
   size_t crash_tear_bytes_ = 0;
   bool dead_ = false;
   bool read_only_ = false;
+  bool disk_full_ = false;
 };
 
 }  // namespace segidx::storage

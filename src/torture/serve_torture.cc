@@ -1,0 +1,394 @@
+#include "torture/serve_torture.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "common/random.h"
+#include "server/faulty_transport.h"
+#include "server/retrying_client.h"
+#include "server/server.h"
+#include "storage/block_device.h"
+#include "storage/fault_injection.h"
+
+namespace segidx::torture {
+
+namespace {
+
+constexpr const char* kHost = "127.0.0.1";
+
+// Deterministic geometry: insert and delete must present the identical
+// rect for a tid, and verification must not depend on thread interleaving.
+Rect RectFor(TupleId tid) {
+  const double x = static_cast<double>(tid % 997);
+  const double y = static_cast<double>((tid * 7) % 991);
+  return Rect(x, x + 4.0, y, y + 4.0);
+}
+
+Rect Everywhere() { return Rect(-1e9, 1e9, -1e9, 1e9); }
+
+// The verdicts RetryingClient keeps retrying on; when it gives up the
+// operation's outcome is unknown, not failed.
+bool RetryableCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kIoError:
+    case StatusCode::kCorruption:
+    case StatusCode::kUnavailable:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kCancelled:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// One writer thread's oracle. Threads never share logs, so no locking.
+struct WriterLog {
+  std::set<TupleId> acked_live;     // Insert acked, no delete issued since.
+  std::set<TupleId> acked_deleted;  // Delete acked: must be absent.
+  std::set<TupleId> unresolved;     // Gave up mid-retry: present 0 or 1 time.
+  uint64_t reconnects = 0;
+  uint64_t retries = 0;
+  std::vector<std::string> errors;  // Hard (non-retryable) verdicts.
+};
+
+struct ServingStack {
+  storage::MemoryBlockDevice* memory = nullptr;          // Borrowed.
+  storage::FaultInjectingBlockDevice* device = nullptr;  // Borrowed.
+  std::unique_ptr<core::IntervalIndex> index;            // Owns the chain.
+  std::unique_ptr<server::Server> server;
+};
+
+server::ServerOptions MakeServerOptions(const ServeTortureOptions& options,
+                                        uint16_t port) {
+  server::ServerOptions sopts;
+  sopts.host = kHost;
+  sopts.port = port;
+  sopts.commit_every = options.server_commit_every;
+  return sopts;
+}
+
+// Builds index + server on a fresh (or recovered) device image. Binding
+// an explicit port retries briefly: a restart can race the old socket's
+// teardown.
+Result<ServingStack> StartStack(const ServeTortureOptions& options,
+                                std::vector<uint8_t>* image, uint16_t port) {
+  ServingStack stack;
+  auto memory = image == nullptr
+                    ? std::make_unique<storage::MemoryBlockDevice>()
+                    : std::make_unique<storage::MemoryBlockDevice>(
+                          std::move(*image));
+  stack.memory = memory.get();
+  auto faulty =
+      std::make_unique<storage::FaultInjectingBlockDevice>(std::move(memory));
+  stack.device = faulty.get();
+  auto index = image == nullptr
+                   ? core::IntervalIndex::CreateWithDevice(
+                         options.kind, std::move(faulty), options.index)
+                   : core::IntervalIndex::OpenFromDevice(std::move(faulty),
+                                                         options.index);
+  if (!index.ok()) return index.status();
+  stack.index = std::move(*index);
+
+  Status last = UnavailableError("server never started");
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    stack.server = std::make_unique<server::Server>(
+        stack.index.get(), MakeServerOptions(options, port));
+    last = stack.server->Start();
+    if (last.ok()) return stack;
+    stack.server.reset();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return last;
+}
+
+void WriterThread(const ServeTortureOptions& options, uint16_t port,
+                  int round, int writer, WriterLog* log) {
+  server::RetryPolicy policy;
+  policy.max_attempts = 0;  // Deadline-bound: ride out crash + restart.
+  policy.total_deadline_ms = options.client_deadline_ms;
+  policy.seed = options.seed + static_cast<uint64_t>(round) * 7919 + writer;
+  const uint64_t session_id =
+      static_cast<uint64_t>(round + 1) * 1000 + writer + 1;
+  server::RetryingClient client(kHost, port, session_id, policy);
+  Rng rng(policy.seed * 2654435761u + 1);
+
+  const bool allow_deletes =
+      options.kind == core::IndexKind::kRTree && options.delete_fraction > 0;
+  TupleId next_tid =
+      static_cast<TupleId>(writer) * options.ops_per_writer + 1;
+
+  for (uint64_t op = 0; op < options.ops_per_writer; ++op) {
+    const bool do_delete = allow_deletes && !log->acked_live.empty() &&
+                           rng.NextDouble() < options.delete_fraction;
+    if (do_delete) {
+      // Deterministic-ish victim: hop a random distance into our own
+      // acked set.
+      auto it = log->acked_live.begin();
+      std::advance(it, static_cast<long>(rng.UniformInt(
+                           0, static_cast<int64_t>(log->acked_live.size()) -
+                                  1)));
+      const TupleId victim = *it;
+      const Status st = client.Delete(RectFor(victim), victim);
+      log->acked_live.erase(victim);
+      if (st.ok()) {
+        log->acked_deleted.insert(victim);
+      } else if (RetryableCode(st.code())) {
+        log->unresolved.insert(victim);
+      } else {
+        log->errors.push_back("delete tid " + std::to_string(victim) +
+                              ": " + st.ToString());
+      }
+    } else {
+      const TupleId tid = next_tid++;
+      const Status st = client.Insert(RectFor(tid), tid);
+      if (st.ok()) {
+        log->acked_live.insert(tid);
+      } else if (RetryableCode(st.code())) {
+        log->unresolved.insert(tid);
+      } else {
+        log->errors.push_back("insert tid " + std::to_string(tid) + ": " +
+                              st.ToString());
+      }
+    }
+    if (options.client_commit_every > 0 &&
+        (op + 1) % options.client_commit_every == 0) {
+      // The server already checkpoints its batches; an explicit commit
+      // exercises the coalesced-commit + dedup path. Its verdict does not
+      // change the oracle (acked mutations are durable either way).
+      (void)client.Commit();
+    }
+  }
+  log->reconnects = client.reconnects();
+  log->retries = client.retries();
+}
+
+void ReaderThread(const ServeTortureOptions& options, uint16_t port,
+                  int round, int reader, const std::atomic<bool>* stop) {
+  server::RetryPolicy policy;
+  policy.max_attempts = 3;  // Searches are disposable; fail fast and loop.
+  policy.total_deadline_ms = 2000;
+  policy.seed = options.seed + static_cast<uint64_t>(round) * 104729 + reader;
+  const uint64_t session_id =
+      static_cast<uint64_t>(round + 1) * 1000 + 500 + reader;
+  server::RetryingClient client(kHost, port, session_id, policy);
+  Rng rng(policy.seed + 17);
+  while (!stop->load(std::memory_order_relaxed)) {
+    const double x = rng.NextDouble() * 900.0;
+    const double y = rng.NextDouble() * 900.0;
+    server::SearchReply reply;
+    (void)client.Search(Rect(x, x + 50, y, y + 50), &reply,
+                        /*budget_us=*/5000, /*allow_partial=*/true);
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+}
+
+std::string Describe(int round, const std::string& what) {
+  return "round " + std::to_string(round) + ": " + what;
+}
+
+}  // namespace
+
+Result<ServeTortureReport> RunServeTorture(
+    const ServeTortureOptions& options) {
+  if (core::IsSkeleton(options.kind)) {
+    return InvalidArgumentError(
+        "serve torture requires a non-skeleton index kind (the skeleton "
+        "build buffer hides acked records from the oracle)");
+  }
+  if (options.writers <= 0 || options.ops_per_writer == 0) {
+    return InvalidArgumentError("serve torture needs at least one writer op");
+  }
+
+  ServeTortureReport report;
+  Rng crash_rng(options.seed ^ 0x5eedf00du);
+  const int total_rounds = options.chaos_rounds + options.crash_rounds;
+
+  for (int round = 0; round < total_rounds; ++round) {
+    const bool crashing = round >= options.chaos_rounds;
+    if (options.log_progress) {
+      std::fprintf(stderr, "serve-torture: round %d/%d (%s)\n", round + 1,
+                   total_rounds, crashing ? "crash" : "chaos");
+    }
+
+    auto stack = StartStack(options, nullptr, /*port=*/0);
+    if (!stack.ok()) return stack.status();
+    const uint16_t port = stack->server->port();
+
+    server::transport::FaultPlan plan;
+    plan.reset_prob = options.reset_prob;
+    plan.delay_prob = options.delay_prob;
+    plan.short_write_prob = options.short_write_prob;
+    plan.max_delay_us = options.max_delay_us;
+    plan.seed = options.seed + static_cast<uint64_t>(round) * 31;
+    server::transport::InstallFaultPlan(plan);
+
+    std::vector<WriterLog> logs(options.writers);
+    std::atomic<bool> readers_stop{false};
+    std::vector<std::thread> threads;
+    threads.reserve(options.writers + options.readers);
+    for (int w = 0; w < options.writers; ++w) {
+      threads.emplace_back(WriterThread, std::cref(options), port, round, w,
+                           &logs[w]);
+    }
+    std::vector<std::thread> readers;
+    readers.reserve(options.readers);
+    for (int r = 0; r < options.readers; ++r) {
+      readers.emplace_back(ReaderThread, std::cref(options), port, round, r,
+                           &readers_stop);
+    }
+
+    // Crash controller: freeze the device mid-traffic, crash the server,
+    // recover the surviving image, restart on the same port — repeatedly —
+    // while the writer/reader threads above keep hammering.
+    if (crashing) {
+      for (int c = 0; c < options.crashes_per_round; ++c) {
+        // Let some durability traffic land first.
+        const uint64_t start_ops = stack->device->counters().ops();
+        const auto progress_deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(10);
+        while (stack->device->counters().ops() < start_ops + 20 &&
+               std::chrono::steady_clock::now() < progress_deadline) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+        stack->device->CrashAtOp(stack->device->counters().ops() +
+                                 static_cast<uint64_t>(
+                                     crash_rng.UniformInt(0, 30)));
+        const auto crash_deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(10);
+        while (!stack->device->crashed() &&
+               std::chrono::steady_clock::now() < crash_deadline) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+
+        stack->server->Abort();
+        stack->server.reset();
+        std::vector<uint8_t> image = stack->memory->Snapshot();
+        stack->index.reset();
+
+        auto recovered = StartStack(options, &image, port);
+        if (!recovered.ok()) {
+          report.failures.push_back(Describe(
+              round, "recovery/restart failed after crash " +
+                         std::to_string(c) + ": " +
+                         recovered.status().ToString()));
+          break;  // Writers drain against a dead port and give up.
+        }
+        *stack = std::move(*recovered);
+        report.server_crashes++;
+        if (options.log_progress) {
+          std::fprintf(stderr, "serve-torture:   crash %d recovered, %llu "
+                               "records back\n",
+                       c + 1,
+                       static_cast<unsigned long long>(stack->index->size()));
+        }
+      }
+    }
+
+    for (std::thread& t : threads) t.join();
+    readers_stop.store(true, std::memory_order_relaxed);
+    for (std::thread& t : readers) t.join();
+
+    report.transport_faults += server::transport::FaultsInjected();
+    server::transport::ClearFaultPlan();
+
+    if (stack->server != nullptr) {
+      report.dedup_hits += stack->server->stats_snapshot().dedup_hits;
+      stack->server->Stop();
+      stack->server.reset();
+    }
+
+    // --- Verification against the merged oracle --------------------------
+    std::set<TupleId> live;
+    std::set<TupleId> deleted;
+    std::set<TupleId> unresolved;
+    for (WriterLog& log : logs) {
+      report.client_reconnects += log.reconnects;
+      report.client_retries += log.retries;
+      report.acked_inserts += log.acked_live.size() + log.acked_deleted.size();
+      report.acked_deletes += log.acked_deleted.size();
+      report.unresolved_ops += log.unresolved.size();
+      live.insert(log.acked_live.begin(), log.acked_live.end());
+      deleted.insert(log.acked_deleted.begin(), log.acked_deleted.end());
+      unresolved.insert(log.unresolved.begin(), log.unresolved.end());
+      for (const std::string& err : log.errors) {
+        report.failures.push_back(Describe(round, "hard client error: " + err));
+      }
+    }
+
+    if (stack->index == nullptr) {
+      report.rounds_run++;
+      continue;  // Recovery failed above; already reported.
+    }
+
+    auto check = stack->index->CheckStructure();
+    if (!check.ok()) {
+      report.failures.push_back(
+          Describe(round, "structure check did not run: " +
+                              check.status().ToString()));
+    } else if (!check->ok()) {
+      report.failures.push_back(
+          Describe(round, "structure violations: " + check->ToString()));
+    }
+
+    std::vector<TupleId> found;
+    if (Status st = stack->index->SearchTuples(Everywhere(), &found);
+        !st.ok()) {
+      report.failures.push_back(
+          Describe(round, "final search failed: " + st.ToString()));
+      report.rounds_run++;
+      continue;
+    }
+    std::map<TupleId, int> count;
+    for (TupleId tid : found) count[tid]++;
+
+    // Segment kinds may legitimately split one record into several pieces
+    // sharing a tid; only plain kinds support the exact-count check.
+    const bool exact = !core::IsSegment(options.kind);
+    size_t reported = 0;
+    auto flag = [&](const std::string& msg) {
+      if (reported++ < 8) report.failures.push_back(Describe(round, msg));
+    };
+    for (TupleId tid : live) {
+      const int n = count.count(tid) != 0 ? count[tid] : 0;
+      if (n == 0) {
+        flag("LOST: acked insert tid " + std::to_string(tid) + " missing");
+      } else if (exact && n != 1) {
+        flag("DUPLICATED: acked insert tid " + std::to_string(tid) +
+             " present " + std::to_string(n) + " times");
+      }
+    }
+    for (TupleId tid : deleted) {
+      if (count.count(tid) != 0) {
+        flag("RESURRECTED: acked delete tid " + std::to_string(tid) +
+             " still present");
+      }
+    }
+    for (const auto& [tid, n] : count) {
+      if (exact && n > 1 && live.count(tid) == 0) {
+        flag("DUPLICATED: tid " + std::to_string(tid) + " present " +
+             std::to_string(n) + " times");
+      }
+      if (live.count(tid) == 0 && unresolved.count(tid) == 0 &&
+          deleted.count(tid) == 0) {  // Deleted-but-present flagged above.
+        flag("PHANTOM: tid " + std::to_string(tid) +
+             " present but never acked or in doubt");
+      }
+    }
+    if (reported > 8) {
+      report.failures.push_back(Describe(
+          round, "... " + std::to_string(reported - 8) + " more violations"));
+    }
+    report.rounds_run++;
+  }
+  return report;
+}
+
+}  // namespace segidx::torture

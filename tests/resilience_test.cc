@@ -462,5 +462,68 @@ TEST(ResilienceTest, ScrubRateLimitStillCompletes) {
   EXPECT_TRUE(report->clean()) << report->ToString();
 }
 
+// --- disk full (ENOSPC) ---------------------------------------------------
+
+// Device level: a full disk rejects writes, syncs, and truncates with
+// kResourceExhausted — distinct from EIO — while reads keep working and
+// clearing the fault restores writes.
+TEST(ResilienceTest, DiskFullDeviceReturnsResourceExhausted) {
+  FaultInjectingBlockDevice dev(std::make_unique<MemoryBlockDevice>());
+  const uint8_t data[16] = {1, 2, 3};
+  ASSERT_TRUE(dev.Write(0, data, sizeof(data)).ok());
+
+  dev.SetDiskFull(true);
+  EXPECT_EQ(dev.Write(16, data, sizeof(data)).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(dev.Sync().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(dev.Truncate(4096).code(), StatusCode::kResourceExhausted);
+  uint8_t out[16] = {};
+  EXPECT_TRUE(dev.Read(0, sizeof(out), out).ok());  // Data intact.
+  EXPECT_EQ(out[0], 1);
+
+  dev.SetDiskFull(false);
+  EXPECT_TRUE(dev.Write(16, data, sizeof(data)).ok());
+}
+
+// Index level: a checkpoint that hits ENOSPC fails kResourceExhausted and
+// flips the pager into read-only degraded mode — searches keep serving
+// the last durable state plus the in-memory tail, further mutations are
+// refused kUnavailable, and nothing already on the device is damaged.
+TEST(ResilienceTest, DiskFullDegradesToReadOnlyButKeepsServing) {
+  auto device = std::make_unique<FaultInjectingBlockDevice>(
+      std::make_unique<MemoryBlockDevice>());
+  FaultInjectingBlockDevice* dev = device.get();
+  auto created = IntervalIndex::CreateWithDevice(
+      IndexKind::kRTree, std::move(device), IndexOptions());
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  auto index = std::move(created).value();
+
+  const auto records = MakeRecords(300, 11);
+  for (const auto& [rect, tid] : records) {
+    ASSERT_TRUE(index->Insert(rect, tid).ok());
+  }
+  ASSERT_TRUE(index->Commit().ok());
+
+  // The disk fills; the next checkpoint cannot land.
+  dev->SetDiskFull(true);
+  ASSERT_TRUE(
+      index->Insert(Rect(Interval(1, 2), Interval::Point(3)), 9001).ok());
+  const Status full = index->Commit();
+  ASSERT_FALSE(full.ok());
+  EXPECT_EQ(full.code(), StatusCode::kResourceExhausted) << full.ToString();
+  EXPECT_EQ(index->storage_stats().degraded, 1u);
+
+  // Degraded, not dead: reads serve everything applied so far...
+  std::vector<TupleId> tids;
+  ASSERT_TRUE(index->SearchTuples(kEverything, &tids).ok());
+  EXPECT_EQ(tids.size(), records.size() + 1);
+
+  // ...while durability operations are refused as unavailable (degraded
+  // mode is sticky even after space frees up: the pager cannot know what
+  // the failed checkpoint left behind).
+  dev->SetDiskFull(false);
+  EXPECT_EQ(index->Commit().code(), StatusCode::kUnavailable);
+}
+
 }  // namespace
 }  // namespace segidx

@@ -1,0 +1,71 @@
+// Smoke coverage for the end-to-end serving chaos torture (ISSUE 10).
+// A scaled-down run — real server, real sockets, fault-injected transport
+// and block device, one crash+restart cycle — must converge with zero
+// lost, duplicated, or resurrected acked writes. The full-size sweep runs
+// via `segidx torture --mode=serve` in CI's chaos-serving job.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/interval_index.h"
+#include "torture/serve_torture.h"
+
+namespace segidx {
+namespace {
+
+std::string Joined(const std::vector<std::string>& failures) {
+  std::string out;
+  for (const std::string& f : failures) out += f + "\n";
+  return out;
+}
+
+TEST(ServeTortureTest, ChaosAndCrashRoundsConverge) {
+  torture::ServeTortureOptions options;
+  options.writers = 2;
+  options.readers = 1;
+  options.ops_per_writer = 40;
+  options.chaos_rounds = 1;
+  options.crash_rounds = 1;
+  options.crashes_per_round = 1;
+  options.seed = 4242;
+  const auto report = torture::RunServeTorture(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok()) << Joined(report->failures);
+  EXPECT_EQ(report->rounds_run, 2u);
+  EXPECT_EQ(report->server_crashes, 1u);
+  EXPECT_GE(report->acked_inserts, 1u);
+}
+
+// A quieter network still has to converge — and with one writer and no
+// faults at all, nothing may be in doubt.
+TEST(ServeTortureTest, FaultFreeRunHasNoUnresolvedOps) {
+  torture::ServeTortureOptions options;
+  options.writers = 1;
+  options.readers = 0;
+  options.ops_per_writer = 30;
+  options.chaos_rounds = 1;
+  options.crash_rounds = 0;
+  options.reset_prob = 0.0;
+  options.short_write_prob = 0.0;
+  options.delay_prob = 0.0;
+  options.seed = 7;
+  const auto report = torture::RunServeTorture(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok()) << Joined(report->failures);
+  EXPECT_EQ(report->unresolved_ops, 0u);
+  EXPECT_EQ(report->transport_faults, 0u);
+}
+
+// Skeleton kinds keep acked records in a build-phase buffer the oracle
+// cannot see; the harness must refuse them rather than report bogus loss.
+TEST(ServeTortureTest, SkeletonKindsAreRejected) {
+  torture::ServeTortureOptions options;
+  options.kind = core::IndexKind::kSkeletonRTree;
+  const auto report = torture::RunServeTorture(options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace segidx

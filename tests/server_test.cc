@@ -12,6 +12,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -23,6 +24,8 @@
 #include "gtest/gtest.h"
 #include "oracle/naive_oracle.h"
 #include "server/client.h"
+#include "server/faulty_transport.h"
+#include "server/retrying_client.h"
 #include "server/server.h"
 
 namespace segidx {
@@ -336,6 +339,280 @@ TEST(ServerTest, CommittedWritesSurviveReopen) {
   ASSERT_TRUE((*reopened)->SearchTuples(Rect(0, 1000, 0, 10), &tids).ok());
   EXPECT_EQ(tids.size(), 20u);
   std::remove(path.c_str());
+}
+
+// Resending the same (session, seq) — what a RetryingClient does after a
+// lost ack — is answered from the dedup window, not re-applied.
+TEST(ServerTest, SessionDedupReplaysDuplicateWrites) {
+  auto index = MakeIndex();
+  Server server(index.get(), ServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  constexpr uint64_t kSession = 42;
+  const Rect rect(10, 20, 5, 5);
+  ASSERT_TRUE((*client)->Insert(rect, 7, kSession, /*seq=*/1).ok());
+  EXPECT_EQ(index->size(), 1u);
+
+  // The retry: same session and seq, acked OK, applied zero more times.
+  ASSERT_TRUE((*client)->Insert(rect, 7, kSession, /*seq=*/1).ok());
+  EXPECT_EQ(index->size(), 1u);
+  EXPECT_GE(server.stats_snapshot().dedup_hits, 1u);
+
+  // A Hello reports the session's resolved high-water mark.
+  server::HelloReply hello{};
+  ASSERT_TRUE((*client)->Hello(kSession, &hello).ok());
+  EXPECT_EQ(hello.last_seq, 1u);
+
+  // Fresh seq: applied normally.
+  ASSERT_TRUE((*client)->Insert(Rect(50, 60, 5, 5), 8, kSession, 2).ok());
+  EXPECT_EQ(index->size(), 2u);
+  server.Stop();
+}
+
+// The dedup window rides inside every checkpoint: after a graceful stop
+// and a reopen, a new server still recognizes the old session's seqs.
+TEST(ServerTest, DedupWindowSurvivesRestart) {
+  const std::string path =
+      testing::TempDir() + "/segidx_server_dedup_restart.idx";
+  std::remove(path.c_str());
+  auto created =
+      IntervalIndex::CreateOnDisk(IndexKind::kRTree, path, IndexOptions());
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  auto index = std::move(created).value();
+
+  constexpr uint64_t kSession = 9000;
+  {
+    Server server(index.get(), ServerOptions());
+    ASSERT_TRUE(server.Start().ok());
+    auto client = Client::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE((*client)->Insert(Rect(10, 20, 5, 5), 1, kSession, 1).ok());
+    ASSERT_TRUE((*client)->Insert(Rect(30, 40, 5, 5), 2, kSession, 2).ok());
+    ASSERT_TRUE((*client)->Commit(kSession, 3).ok());
+    server.Stop();
+  }
+  ASSERT_TRUE(index->Close().ok());
+  index.reset();
+
+  auto reopened = IntervalIndex::OpenFromDisk(path, IndexOptions());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  index = std::move(reopened).value();
+  Server server(index.get(), ServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  // Hello resumes the session where the old server left it...
+  server::HelloReply hello{};
+  ASSERT_TRUE((*client)->Hello(kSession, &hello).ok());
+  EXPECT_EQ(hello.last_seq, 3u);
+
+  // ...and a replay of a pre-restart seq is acked without re-applying.
+  ASSERT_TRUE((*client)->Insert(Rect(10, 20, 5, 5), 1, kSession, 1).ok());
+  EXPECT_EQ(index->size(), 2u);
+  EXPECT_GE(server.stats_snapshot().dedup_hits, 1u);
+  server.Stop();
+  std::remove(path.c_str());
+}
+
+// Connections idle past idle_timeout_ms are reaped by the I/O thread;
+// active ones are not.
+TEST(ServerTest, IdleConnectionsAreReaped) {
+  auto index = MakeIndex();
+  ServerOptions options;
+  options.idle_timeout_ms = 50;
+  Server server(index.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  server::SearchReply reply;
+  ASSERT_TRUE((*client)->Search(Rect(0, 10, 0, 10), &reply).ok());
+
+  // Go idle; the I/O loop (500ms epoll tick) must reap us.
+  uint64_t reaped = 0;
+  for (int i = 0; i < 100 && reaped == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    reaped = server.stats_snapshot().idle_reaped;
+  }
+  EXPECT_GE(reaped, 1u);
+
+  // The reaped connection is dead; a fresh one works.
+  EXPECT_FALSE((*client)->Search(Rect(0, 10, 0, 10), &reply).ok());
+  auto fresh = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE((*fresh)->Search(Rect(0, 10, 0, 10), &reply).ok());
+  server.Stop();
+}
+
+// A minimal hand-rolled "server" for client failure-path tests: accepts
+// one connection and hands the fd to the test.
+class OneShotListener {
+ public:
+  OneShotListener() {
+    listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(listen_fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+              0);
+    EXPECT_EQ(listen(listen_fd_, 1), 0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(
+        getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len),
+        0);
+    port_ = ntohs(addr.sin_port);
+  }
+  ~OneShotListener() {
+    if (conn_fd_ >= 0) close(conn_fd_);
+    if (listen_fd_ >= 0) close(listen_fd_);
+  }
+  uint16_t port() const { return port_; }
+  int Accept() {
+    conn_fd_ = accept(listen_fd_, nullptr, nullptr);
+    EXPECT_GE(conn_fd_, 0);
+    return conn_fd_;
+  }
+  void CloseConn() {
+    if (conn_fd_ >= 0) close(conn_fd_);
+    conn_fd_ = -1;
+  }
+
+ private:
+  int listen_fd_ = -1;
+  int conn_fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+// The peer dying mid-round-trip (request sent, no response will come)
+// surfaces promptly as kIoError — not a hang, not a success.
+TEST(ClientFailureTest, ServerDeathMidRoundTripIsPromptIoError) {
+  OneShotListener listener;
+  auto connected = Client::Connect("127.0.0.1", listener.port());
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  auto client = std::move(connected).value();
+  const int conn = listener.Accept();
+
+  // Read the request off the wire, then die without answering.
+  const auto t0 = std::chrono::steady_clock::now();
+  std::thread killer([&] {
+    uint8_t buf[256];
+    (void)read(conn, buf, sizeof(buf));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    listener.CloseConn();
+  });
+  server::SearchReply reply;
+  const Status st = client->Search(Rect(0, 10, 0, 10), &reply);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  killer.join();
+
+  EXPECT_EQ(st.code(), StatusCode::kIoError) << st.ToString();
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            5000);
+}
+
+// A response whose request_id does not match the request means the stream
+// is desynchronized; the client reports kCorruption instead of returning
+// someone else's answer.
+TEST(ClientFailureTest, MismatchedRequestIdIsRejected) {
+  OneShotListener listener;
+  auto connected = Client::Connect("127.0.0.1", listener.port());
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  auto client = std::move(connected).value();
+  const int conn = listener.Accept();
+
+  std::thread responder([&] {
+    // Read the request frame: u32 length prefix, then payload whose first
+    // 9 bytes are type + request_id (LE).
+    uint8_t len_buf[4];
+    size_t got = 0;
+    while (got < 4) {
+      const ssize_t n = read(conn, len_buf + got, 4 - got);
+      ASSERT_GT(n, 0);
+      got += static_cast<size_t>(n);
+    }
+    const uint32_t len = static_cast<uint32_t>(len_buf[0]) |
+                         (static_cast<uint32_t>(len_buf[1]) << 8) |
+                         (static_cast<uint32_t>(len_buf[2]) << 16) |
+                         (static_cast<uint32_t>(len_buf[3]) << 24);
+    std::vector<uint8_t> payload(len);
+    got = 0;
+    while (got < len) {
+      const ssize_t n = read(conn, payload.data() + got, len - got);
+      ASSERT_GT(n, 0);
+      got += static_cast<size_t>(n);
+    }
+    ASSERT_GE(len, 9u);
+    // Echo a response that would be perfectly valid — type kSearch, OK
+    // code, empty message, empty-but-well-formed search body — except its
+    // request_id is off by one.
+    uint64_t req_id = 0;
+    for (int i = 0; i < 8; ++i) {
+      req_id |= static_cast<uint64_t>(payload[1 + i]) << (8 * i);
+    }
+    const uint64_t wrong = req_id + 1;
+    // Payload: u8 type, u64 request_id, u8 code, u32 msg_len, then the
+    // search body (u8 partial, u64 nodes_accessed, u32 hit count).
+    uint8_t resp[4 + 1 + 8 + 1 + 4 + 13] = {};
+    resp[0] = 27;                 // Frame length (LE u32).
+    resp[4] = 1;                  // MsgType::kSearch.
+    for (int i = 0; i < 8; ++i) {
+      resp[5 + i] = static_cast<uint8_t>(wrong >> (8 * i));
+    }
+    // code = kOk, msg_len = 0, search body all zeros: already in place.
+    ASSERT_EQ(write(conn, resp, sizeof(resp)),
+              static_cast<ssize_t>(sizeof(resp)));
+  });
+  server::SearchReply reply;
+  const Status st = client->Search(Rect(0, 10, 0, 10), &reply);
+  responder.join();
+  EXPECT_EQ(st.code(), StatusCode::kCorruption) << st.ToString();
+}
+
+// RetryingClient against a real server through a hostile transport: every
+// insert must eventually ack OK, and exactly-once must hold — N acked
+// inserts leave exactly N records.
+TEST(RetryingClientTest, ExactlyOnceUnderTransportFaults) {
+  auto index = MakeIndex();
+  Server server(index.get(), ServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  server::transport::FaultPlan plan;
+  plan.reset_prob = 0.05;
+  plan.short_write_prob = 0.03;
+  plan.delay_prob = 0.02;
+  plan.max_delay_us = 200;
+  plan.seed = 99;
+  server::transport::InstallFaultPlan(plan);
+
+  constexpr uint64_t kInserts = 60;
+  {
+    server::RetryPolicy policy;
+    policy.max_attempts = 0;  // Deadline-only: ride out every fault.
+    policy.total_deadline_ms = 30000;
+    policy.seed = 3;
+    server::RetryingClient rc("127.0.0.1", server.port(), /*session_id=*/7,
+                              policy);
+    Rng rng(55);
+    for (uint64_t i = 1; i <= kInserts; ++i) {
+      const Status st = rc.Insert(RandomInterval(&rng), i);
+      ASSERT_TRUE(st.ok()) << "insert " << i << ": " << st.ToString();
+    }
+    ASSERT_TRUE(rc.Commit().ok());
+  }
+  server::transport::ClearFaultPlan();
+
+  server.Stop();
+  EXPECT_EQ(index->size(), kInserts);
+  std::vector<TupleId> tids;
+  ASSERT_TRUE(index->SearchTuples(Rect(-1e6, 1e6, -1e6, 1e6), &tids).ok());
+  std::sort(tids.begin(), tids.end());
+  ASSERT_EQ(tids.size(), kInserts);  // No duplicates: dedup held.
+  for (uint64_t i = 1; i <= kInserts; ++i) EXPECT_EQ(tids[i - 1], i);
 }
 
 }  // namespace

@@ -46,6 +46,9 @@ RAW_STD_WHITELIST = {
     # Test-only fault injection; not part of the production lock hierarchy.
     "src/storage/fault_injection.h",
     "src/storage/fault_injection.cc",
+    # Network-fault twin of fault_injection: a process-global leaf mutex
+    # guarding the chaos PRNG, never held across a syscall or lock.
+    "src/server/faulty_transport.cc",
 }
 
 # Only the tree layers may take node latches (rule 2).

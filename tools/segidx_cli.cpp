@@ -74,6 +74,7 @@
 #include "storage/fault_injection.h"
 #include "torture/recovery_torture.h"
 #include "torture/scrub_torture.h"
+#include "torture/serve_torture.h"
 
 namespace {
 
@@ -115,6 +116,13 @@ int Usage() {
       "          [--checkpoint-every=N] [--tear=BYTES] [--max-points=N]\n"
       "          --mode=scrub: [--kind=srtree] [--records=N] [--rounds=N]\n"
       "          [--corrupt=N]\n"
+      "          --mode=serve: end-to-end serving chaos (network faults +\n"
+      "          server crash/restart; exactly-once oracle)\n"
+      "          [--kind=rtree|srtree] [--writers=N] [--readers=N]\n"
+      "          [--ops=N] [--chaos-rounds=N] [--crash-rounds=N]\n"
+      "          [--crashes=N] [--reset-prob=F] [--delay-prob=F]\n"
+      "          [--short-write-prob=F] [--commit-every=N]\n"
+      "          [--deadline-ms=N]\n"
       "          common: [--seed=S] [--pool=BYTES] [--quiet=1]\n"
       "  serve:  socket server (segidxd); stop with SIGINT/SIGTERM\n"
       "          [--port=N] [--host=ADDR] [--threads=N] [--writers=N]\n"
@@ -1145,9 +1153,84 @@ int CmdScrubTorture(const Args& args) {
   return 0;
 }
 
+int CmdServeTorture(const Args& args) {
+  torture::ServeTortureOptions options;
+  if (auto v = args.Get("kind")) {
+    const auto kind = ParseKind(*v);
+    if (!kind) {
+      std::fprintf(stderr, "unknown kind: %s\n", v->c_str());
+      return 2;
+    }
+    options.kind = *kind;
+  }
+  uint64_t seed = options.seed;
+  if (!GetI32(args, "writers", &options.writers,
+              /*require_positive=*/true) ||
+      !GetI32(args, "readers", &options.readers) ||
+      !GetU64(args, "ops", &options.ops_per_writer,
+              /*require_positive=*/true) ||
+      !GetI32(args, "chaos-rounds", &options.chaos_rounds) ||
+      !GetI32(args, "crash-rounds", &options.crash_rounds) ||
+      !GetI32(args, "crashes", &options.crashes_per_round,
+              /*require_positive=*/true) ||
+      !GetF64(args, "reset-prob", &options.reset_prob) ||
+      !GetF64(args, "delay-prob", &options.delay_prob) ||
+      !GetF64(args, "short-write-prob", &options.short_write_prob) ||
+      !GetU64(args, "commit-every", &options.server_commit_every,
+              /*require_positive=*/true) ||
+      !GetU64(args, "deadline-ms", &options.client_deadline_ms,
+              /*require_positive=*/true) ||
+      !GetU64(args, "seed", &seed) ||
+      !GetSize(args, "pool", &options.index.pager.buffer_pool_bytes,
+               /*require_positive=*/true)) {
+    return 1;
+  }
+  options.seed = static_cast<uint32_t>(seed);
+  options.log_progress = !args.Get("quiet").has_value();
+
+  auto report = torture::RunServeTorture(options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "serve torture harness failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "ran %llu rounds, %llu server crashes; clients: %llu reconnects, "
+      "%llu retries over %llu injected transport faults; acked %llu "
+      "inserts + %llu deletes (%llu in doubt), %llu dedup replays\n",
+      static_cast<unsigned long long>(report->rounds_run),
+      static_cast<unsigned long long>(report->server_crashes),
+      static_cast<unsigned long long>(report->client_reconnects),
+      static_cast<unsigned long long>(report->client_retries),
+      static_cast<unsigned long long>(report->transport_faults),
+      static_cast<unsigned long long>(report->acked_inserts),
+      static_cast<unsigned long long>(report->acked_deletes),
+      static_cast<unsigned long long>(report->unresolved_ops),
+      static_cast<unsigned long long>(report->dedup_hits));
+  if (!report->ok()) {
+    for (const std::string& failure : report->failures) {
+      std::fprintf(stderr, "FAIL %s\n", failure.c_str());
+    }
+    std::fprintf(stderr, "%zu exactly-once violations\n",
+                 report->failures.size());
+    return 1;
+  }
+  std::printf(
+      "every acked write survived exactly once; no losses, duplicates, or "
+      "resurrections\n");
+  return 0;
+}
+
 int CmdTorture(const Args& args) {
-  if (auto mode = args.Get("mode"); mode.has_value() && *mode == "scrub") {
-    return CmdScrubTorture(args);
+  if (auto mode = args.Get("mode"); mode.has_value()) {
+    if (*mode == "scrub") return CmdScrubTorture(args);
+    if (*mode == "serve") return CmdServeTorture(args);
+    if (*mode != "crash") {
+      std::fprintf(stderr, "--mode: expected crash, scrub, or serve; got "
+                           "'%s'\n",
+                   mode->c_str());
+      return 2;
+    }
   }
   torture::TortureOptions options;
   if (auto v = args.Get("kind")) {

@@ -5,7 +5,9 @@
 //   segidx_load [--records=N] [--connections=N] [--duration-ms=N]
 //               [--write-pct=0..100] [--budget-us=N] [--qar=F] [--seed=S]
 //               [--threads=N] [--writers=N] [--commit-every=N]
-//               [--host=ADDR --port=N] [--out=JSON_PATH]
+//               [--chaos=0|1] [--reset-prob=F] [--delay-prob=F]
+//               [--short-write-prob=F] [--host=ADDR --port=N]
+//               [--out=JSON_PATH]
 //
 // By default the tool self-hosts: it builds an in-memory index preloaded
 // with --records uniform intervals, starts a server::Server on a loopback
@@ -20,6 +22,14 @@
 // are counted, not failed: exercising admission control under load is the
 // point. A final commit makes the inserted records durable before the
 // server stops.
+//
+// --chaos=1 installs the process-global transport fault plan (connection
+// resets, torn frames, randomized delays — tunable via the *-prob flags)
+// and switches every worker to a RetryingClient with its own exactly-once
+// session, so the numbers measure goodput under a hostile network rather
+// than the first reset. Ops abandoned after the retry budget are counted
+// (`gave_up`), not failed. Chaos only perturbs this process's own
+// syscalls; with --host/--port it degrades the client side only.
 //
 // Exit codes: 0 success, 1 hard failure (connection error, unexpected
 // status), 2 usage error.
@@ -43,6 +53,8 @@
 #include "common/random.h"
 #include "core/interval_index.h"
 #include "server/client.h"
+#include "server/faulty_transport.h"
+#include "server/retrying_client.h"
 #include "server/server.h"
 
 namespace {
@@ -57,8 +69,10 @@ int Usage() {
       "[--duration-ms=N]\n"
       "                   [--write-pct=0..100] [--budget-us=N] [--qar=F]\n"
       "                   [--seed=S] [--threads=N] [--writers=N]\n"
-      "                   [--commit-every=N] [--host=ADDR --port=N]\n"
-      "                   [--out=JSON_PATH]\n");
+      "                   [--commit-every=N] [--chaos=0|1] "
+      "[--reset-prob=F]\n"
+      "                   [--delay-prob=F] [--short-write-prob=F]\n"
+      "                   [--host=ADDR --port=N] [--out=JSON_PATH]\n");
   return 2;
 }
 
@@ -73,6 +87,10 @@ struct Flags {
   int threads = 4;       // Server-side search workers (self-host).
   int writers = 2;       // Server-side write workers (self-host).
   uint64_t commit_every = 256;
+  bool chaos = false;
+  double reset_prob = 0.02;        // Chaos-mode transport fault plan.
+  double delay_prob = 0.05;
+  double short_write_prob = 0.01;
   std::string host = "127.0.0.1";
   std::optional<uint64_t> port;  // Set = drive an external server.
   std::optional<std::string> out;
@@ -111,13 +129,25 @@ std::optional<Flags> ParseFlags(int argc, char** argv) {
       flags.host = value;
     } else if (key == "out") {
       flags.out = value;
-    } else if (key == "qar") {
+    } else if (key == "qar" || key == "reset-prob" || key == "delay-prob" ||
+               key == "short-write-prob") {
       char* end = nullptr;
       errno = 0;
-      flags.qar = std::strtod(value.c_str(), &end);
-      if (end == value.c_str() || *end != '\0' || errno == ERANGE ||
-          flags.qar <= 0) {
+      const double d = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || errno == ERANGE) {
         return fail(key, value);
+      }
+      if (key == "qar") {
+        if (d <= 0) return fail(key, value);
+        flags.qar = d;
+      } else if (d < 0 || d > 1) {
+        return fail(key, value);
+      } else if (key == "reset-prob") {
+        flags.reset_prob = d;
+      } else if (key == "delay-prob") {
+        flags.delay_prob = d;
+      } else {
+        flags.short_write_prob = d;
       }
     } else if (!ParseU64Value(value, &u)) {
       return fail(key, value);
@@ -144,6 +174,9 @@ std::optional<Flags> ParseFlags(int argc, char** argv) {
       flags.writers = static_cast<int>(u);
     } else if (key == "commit-every") {
       flags.commit_every = u;
+    } else if (key == "chaos") {
+      if (u > 1) return fail(key, value);
+      flags.chaos = (u == 1);
     } else if (key == "port") {
       if (u > 65535) return fail(key, value);
       flags.port = u;
@@ -170,8 +203,27 @@ struct ThreadResult {
   uint64_t shed = 0;
   uint64_t unavailable = 0;
   uint64_t hits = 0;
+  uint64_t gave_up = 0;     // Chaos: retry budget exhausted, op abandoned.
+  uint64_t reconnects = 0;  // Chaos: successful reconnects.
+  uint64_t retries = 0;     // Chaos: attempts beyond each op's first.
   std::string error;  // First hard failure; empty = clean.
 };
+
+// Codes a RetryingClient keeps retrying; seeing one back means the retry
+// budget ran out mid-fault, which chaos mode counts rather than fails.
+bool RetryBudgetCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kIoError:
+    case StatusCode::kCorruption:
+    case StatusCode::kUnavailable:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kCancelled:
+      return true;
+    default:
+      return false;
+  }
+}
 
 double Percentile(std::vector<double>* values, double p) {
   if (values->empty()) return 0;
@@ -232,6 +284,15 @@ int main(int argc, char** argv) {
       Clock::now() + std::chrono::milliseconds(flags->duration_ms);
   const double side = std::sqrt(flags->qar) * kDomain;
 
+  if (flags->chaos) {
+    server::transport::FaultPlan plan;
+    plan.reset_prob = flags->reset_prob;
+    plan.delay_prob = flags->delay_prob;
+    plan.short_write_prob = flags->short_write_prob;
+    plan.seed = flags->seed;
+    server::transport::InstallFaultPlan(plan);
+  }
+
   std::vector<ThreadResult> results(
       static_cast<size_t>(flags->connections));
   std::vector<std::thread> threads;
@@ -239,12 +300,31 @@ int main(int argc, char** argv) {
   for (int t = 0; t < flags->connections; ++t) {
     threads.emplace_back([&, t] {
       ThreadResult& res = results[static_cast<size_t>(t)];
-      auto connected = server::Client::Connect(flags->host, port);
-      if (!connected.ok()) {
-        res.error = connected.status().ToString();
-        return;
+      // Chaos mode drives a RetryingClient (per-thread exactly-once
+      // session) instead of a bare Client, so injected resets and torn
+      // frames cost retries, not the run.
+      std::unique_ptr<server::Client> client;
+      std::unique_ptr<server::RetryingClient> rclient;
+      if (flags->chaos) {
+        server::RetryPolicy policy;
+        policy.max_attempts = 6;
+        policy.total_deadline_ms = 10000;
+        policy.seed = flags->seed + static_cast<uint64_t>(t);
+        rclient = std::make_unique<server::RetryingClient>(
+            flags->host, port, /*session_id=*/static_cast<uint64_t>(t) + 1,
+            policy);
+        if (Status st = rclient->Ping(); !st.ok()) {
+          res.error = "connect: " + st.ToString();
+          return;
+        }
+      } else {
+        auto connected = server::Client::Connect(flags->host, port);
+        if (!connected.ok()) {
+          res.error = connected.status().ToString();
+          return;
+        }
+        client = std::move(connected).value();
       }
-      auto client = std::move(connected).value();
       Rng rng(flags->seed + 1000003ull * static_cast<uint64_t>(t + 1));
       // Tuple ids for inserted records: disjoint per thread, above the
       // preload range.
@@ -255,28 +335,38 @@ int main(int argc, char** argv) {
             rng.Uniform(0.0, 100.0) < static_cast<double>(flags->write_pct);
         const auto t0 = Clock::now();
         if (is_write) {
-          const Status st = client->Insert(RandomInterval(&rng), next_tid++);
+          const Rect rect = RandomInterval(&rng);
+          const Status st = rclient ? rclient->Insert(rect, next_tid++)
+                                    : client->Insert(rect, next_tid++);
           const double us =
               std::chrono::duration<double, std::micro>(Clock::now() - t0)
                   .count();
-          if (!st.ok()) {
+          if (st.ok()) {
+            res.insert_us.push_back(us);
+          } else if (rclient && RetryBudgetCode(st.code())) {
+            ++res.gave_up;  // Abandoned mid-fault; the seq stays burned.
+          } else {
             res.error = "insert: " + st.ToString();
             return;
           }
-          res.insert_us.push_back(us);
         } else {
           const double x = rng.Uniform(0.0, kDomain - side);
           const double y = rng.Uniform(0.0, kDomain - side);
+          const Rect q(x, x + side, y, y + side);
           server::SearchReply reply;
           const Status st =
-              client->Search(Rect(x, x + side, y, y + side), &reply,
-                             flags->budget_us, /*allow_partial=*/true);
+              rclient ? rclient->Search(q, &reply, flags->budget_us,
+                                        /*allow_partial=*/true)
+                      : client->Search(q, &reply, flags->budget_us,
+                                       /*allow_partial=*/true);
           const double us =
               std::chrono::duration<double, std::micro>(Clock::now() - t0)
                   .count();
           if (st.ok()) {
             res.search_us.push_back(us);
             res.hits += reply.hits.size();
+          } else if (rclient && RetryBudgetCode(st.code())) {
+            ++res.gave_up;  // Retried through the faults, then abandoned.
           } else if (st.code() == StatusCode::kDeadlineExceeded) {
             ++res.deadline_exceeded;  // Admission control doing its job.
           } else if (st.code() == StatusCode::kResourceExhausted) {
@@ -290,12 +380,29 @@ int main(int argc, char** argv) {
         }
       }
       // Make this thread's inserts durable before disconnecting.
-      if (const Status st = client->Commit(); !st.ok()) {
-        res.error = "commit: " + st.ToString();
+      const Status st = rclient ? rclient->Commit() : client->Commit();
+      if (!st.ok()) {
+        if (rclient && RetryBudgetCode(st.code())) {
+          ++res.gave_up;
+        } else {
+          res.error = "commit: " + st.ToString();
+        }
+      }
+      if (rclient) {
+        res.reconnects = rclient->reconnects();
+        res.retries = rclient->retries();
       }
     });
   }
   for (std::thread& t : threads) t.join();
+
+  // Faults stop at the workload's edge: the stats connection below and
+  // the server teardown run on a reliable transport.
+  uint64_t faults_injected = 0;
+  if (flags->chaos) {
+    faults_injected = server::transport::FaultsInjected();
+    server::transport::ClearFaultPlan();
+  }
 
   // Capture the server's own counters: directly when self-hosting, over
   // the wire when driving an external server.
@@ -311,6 +418,7 @@ int main(int argc, char** argv) {
 
   std::vector<double> search_us, insert_us;
   uint64_t deadline_exceeded = 0, shed = 0, unavailable = 0, hits = 0;
+  uint64_t gave_up = 0, reconnects = 0, retries = 0;
   for (const ThreadResult& res : results) {
     if (!res.error.empty()) {
       std::fprintf(stderr, "worker failed: %s\n", res.error.c_str());
@@ -324,6 +432,9 @@ int main(int argc, char** argv) {
     shed += res.shed;
     unavailable += res.unavailable;
     hits += res.hits;
+    gave_up += res.gave_up;
+    reconnects += res.reconnects;
+    retries += res.retries;
   }
   const double secs = static_cast<double>(flags->duration_ms) / 1000.0;
   const uint64_t total_ops = search_us.size() + insert_us.size();
@@ -351,6 +462,18 @@ int main(int argc, char** argv) {
       Percentile(&insert_us, 0.50), Percentile(&insert_us, 0.99),
       static_cast<double>(total_ops) / secs);
   std::string json = buf;
+  if (flags->chaos) {
+    char chaos_buf[256];
+    std::snprintf(
+        chaos_buf, sizeof(chaos_buf),
+        "\"chaos\": {\"faults_injected\": %llu, \"reconnects\": %llu, "
+        "\"retries\": %llu, \"gave_up\": %llu}, ",
+        static_cast<unsigned long long>(faults_injected),
+        static_cast<unsigned long long>(reconnects),
+        static_cast<unsigned long long>(retries),
+        static_cast<unsigned long long>(gave_up));
+    json += chaos_buf;
+  }
   json += "\"server\": " + server_stats + "}\n";
   std::fputs(json.c_str(), stdout);
   if (flags->out.has_value()) {
